@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper in a reduced,
+shape-preserving configuration (so the whole suite runs in minutes on a
+laptop) and prints the regenerated rows/series next to the timing numbers.
+Set the environment variable ``SPROUT_BENCH_SCALE=paper`` to run the
+full-size configurations instead.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    """Return the benchmark scale: ``"fast"`` (default) or ``"paper"``."""
+    return os.environ.get("SPROUT_BENCH_SCALE", "fast")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """Session-wide benchmark scale fixture."""
+    return bench_scale()
+
+
+def print_report(title: str, body: str) -> None:
+    """Print a regenerated table/figure below the benchmark timings."""
+    separator = "=" * 72
+    print(f"\n{separator}\n{title}\n{separator}\n{body}\n")

@@ -1,0 +1,28 @@
+"""Benchmark: Fig. 10 -- latency per object size, optimal vs LRU caching."""
+
+from __future__ import annotations
+
+from conftest import print_report
+
+from repro.experiments import fig10_object_sizes
+
+
+def _run(scale: str):
+    if scale == "paper":
+        return fig10_object_sizes.run()
+    return fig10_object_sizes.run(
+        object_sizes_mb=(16, 64),
+        num_objects=300,
+        duration_s=300.0,
+        rate_scale=3.0,
+    )
+
+
+def test_fig10_object_sizes(benchmark, scale):
+    result = benchmark.pedantic(_run, args=(scale,), iterations=1, rounds=1)
+    print_report(
+        "Fig. 10 -- latency per object size (optimal vs Ceph LRU cache tier)",
+        fig10_object_sizes.format_result(result),
+    )
+    for comparison in result.comparisons:
+        assert comparison.optimal_latency_ms <= comparison.baseline_latency_ms * 1.05

@@ -1,0 +1,28 @@
+"""Benchmark: Fig. 11 -- latency vs workload intensity, optimal vs LRU caching."""
+
+from __future__ import annotations
+
+from conftest import print_report
+
+from repro.experiments import fig11_arrival_rates
+
+
+def _run(scale: str):
+    if scale == "paper":
+        return fig11_arrival_rates.run()
+    return fig11_arrival_rates.run(
+        aggregate_rates=(0.5, 2.0, 8.0),
+        num_objects=400,
+        duration_s=300.0,
+    )
+
+
+def test_fig11_arrival_rates(benchmark, scale):
+    result = benchmark.pedantic(_run, args=(scale,), iterations=1, rounds=1)
+    print_report(
+        "Fig. 11 -- latency vs aggregate arrival rate (optimal vs Ceph LRU)",
+        fig11_arrival_rates.format_result(result),
+    )
+    assert result.mean_improvement() > 0.0
+    low, high = result.comparisons[0], result.comparisons[-1]
+    assert high.baseline_latency_ms > low.baseline_latency_ms

@@ -1,0 +1,23 @@
+"""Benchmark: Fig. 3 -- convergence of Algorithm 1 across cache sizes."""
+
+from __future__ import annotations
+
+from conftest import print_report
+
+from repro.experiments import fig3_convergence
+
+
+def _run(scale: str):
+    if scale == "paper":
+        return fig3_convergence.run()
+    return fig3_convergence.run(cache_sizes=(20, 40, 60, 80, 100), num_files=100)
+
+
+def test_fig3_convergence(benchmark, scale):
+    result = benchmark.pedantic(_run, args=(scale,), iterations=1, rounds=1)
+    print_report(
+        "Fig. 3 -- convergence of Algorithm 1", fig3_convergence.format_result(result)
+    )
+    assert result.max_iterations() < 20
+    for curve in result.curves:
+        assert curve.converged

@@ -1,0 +1,23 @@
+"""Benchmark: Fig. 4 -- average latency versus cache size."""
+
+from __future__ import annotations
+
+from conftest import print_report
+
+from repro.experiments import fig4_cache_size
+
+
+def _run(scale: str):
+    if scale == "paper":
+        return fig4_cache_size.run()
+    return fig4_cache_size.run(num_files=100)
+
+
+def test_fig4_cache_size(benchmark, scale):
+    result = benchmark.pedantic(_run, args=(scale,), iterations=1, rounds=1)
+    print_report(
+        "Fig. 4 -- average latency vs cache size",
+        fig4_cache_size.format_result(result),
+    )
+    assert result.is_nonincreasing(tolerance=1e-3)
+    assert result.points[-1].latency <= result.points[0].latency

@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 5 / Table I -- cache-content evolution across time bins."""
+
+from __future__ import annotations
+
+from conftest import print_report
+
+from repro.experiments import fig5_evolution
+
+
+def test_fig5_evolution(benchmark, scale):
+    result = benchmark.pedantic(fig5_evolution.run, iterations=1, rounds=1)
+    print_report(
+        "Fig. 5 / Table I -- cache content evolution",
+        fig5_evolution.format_result(result),
+    )
+    assert len(result.cache_per_bin) == 3
+    for bin_content in result.cache_per_bin:
+        assert 0 < sum(bin_content.values()) <= result.cache_capacity

@@ -1,0 +1,19 @@
+"""Benchmark: Fig. 6 -- impact of placement and arrival rate on the cache."""
+
+from __future__ import annotations
+
+from conftest import print_report
+
+from repro.experiments import fig6_placement
+
+
+def test_fig6_placement(benchmark, scale):
+    result = benchmark.pedantic(fig6_placement.run, iterations=1, rounds=1)
+    print_report(
+        "Fig. 6 -- cache allocation vs arrival rate of the first two files",
+        fig6_placement.format_result(result),
+    )
+    first_two = result.first_two_series()
+    last_six = result.last_six_series()
+    assert first_two[0] <= first_two[-1]
+    assert last_six[0] >= last_six[-1]

@@ -1,0 +1,23 @@
+"""Benchmark: Fig. 7 -- chunk requests served by cache vs storage per slot."""
+
+from __future__ import annotations
+
+from conftest import print_report
+
+from repro.experiments import fig7_scheduling
+
+
+def _run(scale: str):
+    if scale == "paper":
+        return fig7_scheduling.run()
+    return fig7_scheduling.run(num_objects=200, cache_capacity_chunks=250)
+
+
+def test_fig7_scheduling(benchmark, scale):
+    result = benchmark.pedantic(_run, args=(scale,), iterations=1, rounds=1)
+    print_report(
+        "Fig. 7 -- cache vs storage chunk scheduling",
+        fig7_scheduling.format_result(result),
+    )
+    for series in result.series:
+        assert abs(series.cache_fraction - series.expected_cache_fraction) < 0.1

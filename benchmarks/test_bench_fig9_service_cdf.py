@@ -1,0 +1,22 @@
+"""Benchmark: Fig. 9 / Table IV -- chunk service-time CDFs per chunk size."""
+
+from __future__ import annotations
+
+from conftest import print_report
+
+from repro.experiments import fig9_service_cdf
+
+
+def _run(scale: str):
+    samples = 20000 if scale == "paper" else 5000
+    return fig9_service_cdf.run(samples_per_size=samples)
+
+
+def test_fig9_service_cdf(benchmark, scale):
+    result = benchmark.pedantic(_run, args=(scale,), iterations=1, rounds=1)
+    print_report(
+        "Fig. 9 / Table IV -- chunk service-time distribution",
+        fig9_service_cdf.format_result(result),
+    )
+    for cdf in result.cdfs:
+        assert abs(cdf.sample_mean_ms - cdf.table_mean_ms) / cdf.table_mean_ms < 0.05

@@ -1,0 +1,21 @@
+"""Benchmark: Tables I, III, IV and V -- workload and device measurement tables."""
+
+from __future__ import annotations
+
+from conftest import print_report
+
+from repro.experiments import tables
+
+
+def _run(scale: str):
+    samples = 20000 if scale == "paper" else 5000
+    return tables.run(samples=samples)
+
+
+def test_tables(benchmark, scale):
+    result = benchmark.pedantic(_run, args=(scale,), iterations=1, rounds=1)
+    print_report("Tables I, III, IV, V", tables.format_result(result))
+    for row in result.table_v:
+        assert row.emulated_latency_ms == row.paper_latency_ms
+    for row in result.table_iv:
+        assert abs(row.emulated_mean_ms - row.paper_mean_ms) / row.paper_mean_ms < 0.05

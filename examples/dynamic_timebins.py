@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Time-varying workloads: re-optimizing the cache across time bins.
+
+This example replays the Table-I scenario of the paper (ten files whose
+arrival rates change across three time bins), plus a diurnal busy/off-peak
+pattern, and shows:
+
+* how the sliding-window rate estimator detects the rate changes and opens
+  new time bins,
+* how the cache content follows the hot files of each bin,
+* how the lazy update rule (drop shrunk allocations immediately, add grown
+  allocations on the next access) keeps the network overhead at zero.
+
+Run with::
+
+    python examples/dynamic_timebins.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.timebins import TimeBin, TimeBinScheduler
+from repro.simulation.arrivals import generate_request_stream
+from repro.workloads.defaults import ten_file_model
+from repro.workloads.rates import SlidingWindowRateEstimator
+from repro.workloads.traces import table_i_time_bins
+
+RATE_SCALE = 65.0  # keeps the 10-file system busy enough for caching to matter
+
+
+def replay_table_i() -> None:
+    """Re-optimize the cache at each Table-I time bin and print the deltas."""
+    model = ten_file_model(cache_capacity=10, seed=2016, rate_scale=RATE_SCALE)
+    scheduler = TimeBinScheduler(model, tolerance=0.001)
+    bins = table_i_time_bins()
+    for time_bin in bins:
+        time_bin.arrival_rates = {
+            file_id: rate * RATE_SCALE
+            for file_id, rate in time_bin.arrival_rates.items()
+        }
+
+    print("Table-I replay: cache content per time bin")
+    for time_bin in bins:
+        outcome = scheduler.process_bin(time_bin)
+        cached = {
+            file_id: chunks
+            for file_id, chunks in outcome.placement.cached_chunks().items()
+            if chunks > 0
+        }
+        print(
+            f"  bin {time_bin.index}: latency bound {outcome.placement.objective:6.2f}s, "
+            f"cached {cached}"
+        )
+        if outcome.delta.removed or outcome.delta.added_on_access:
+            print(
+                f"    delta: drop {outcome.delta.removed or '{}'} immediately, "
+                f"add {outcome.delta.added_on_access or '{}'} on next access"
+            )
+
+
+def detect_rate_changes() -> None:
+    """Drive the sliding-window estimator with a busy/off-peak pattern."""
+    print("\nSliding-window rate detection (busy hour -> off-peak):")
+    estimator = SlidingWindowRateEstimator(window=600.0, change_threshold=0.6)
+    busy_rates = {f"file-{i}": 0.02 for i in range(10)}
+    offpeak_rates = {f"file-{i}": 0.004 for i in range(10)}
+    estimator.freeze_bin_rates(busy_rates)
+
+    rng = np.random.default_rng(5)
+    busy_stream = generate_request_stream(busy_rates, 1800.0, rng)
+    offpeak_stream = [
+        (time + 1800.0, file_id)
+        for time, file_id in generate_request_stream(offpeak_rates, 1800.0, rng)
+    ]
+    events = estimator.replay(busy_stream + offpeak_stream)
+    if events:
+        first = events[0]
+        print(
+            f"  first change detected at t={first.time:.0f}s: {first.file_id} "
+            f"{first.previous_rate:.4f}/s -> {first.new_rate:.4f}/s "
+            f"(time bin {estimator.current_bin} opened)"
+        )
+        print(f"  total rate-change events: {len(events)}")
+    else:
+        print("  no change detected (threshold too high for this trace)")
+
+
+def main() -> None:
+    replay_table_i()
+    detect_rate_changes()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment used for this reproduction lacks the ``wheel``
+package, so PEP-660 editable installs fail.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` fall back to the
+legacy ``setup.py develop`` path.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

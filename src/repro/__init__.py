@@ -1,0 +1,46 @@
+"""Sprout: functional caching for erasure-coded storage (ICDCS 2016 reproduction).
+
+The package is organised as:
+
+* :mod:`repro.erasure` -- GF(2^8) / Reed-Solomon substrate and functional
+  cache chunk construction.
+* :mod:`repro.queueing` -- service-time distributions, M/G/1 moments and the
+  order-statistics latency bound (Lemma 1).
+* :mod:`repro.core` -- the system model, the latency objective and
+  Algorithm 1 (alternating minimization with integer rounding).
+* :mod:`repro.scheduling` -- probabilistic request scheduling.
+* :mod:`repro.simulation` -- discrete-event simulation of the storage system.
+* :mod:`repro.baselines` -- LRU, exact-caching and static baselines.
+* :mod:`repro.cluster` -- Ceph-like cluster emulation (equivalent-code pools,
+  LRU cache tier, measured device latencies).
+* :mod:`repro.workloads` -- the paper's workload tables and generators.
+* :mod:`repro.experiments` -- one module per table/figure of the evaluation.
+
+Quickstart::
+
+    from repro.workloads import paper_default_model
+    from repro.core import CacheOptimizer
+
+    model = paper_default_model(num_files=100, cache_capacity=50)
+    placement = CacheOptimizer(model).optimize().placement
+    print(placement.summary())
+"""
+
+from repro.core.algorithm import CacheOptimizer, optimize_cache_placement
+from repro.core.model import FileSpec, StorageSystemModel
+from repro.core.placement import CachePlacement
+from repro.erasure.functional import FunctionalCacheCoder
+from repro.erasure.reed_solomon import ReedSolomonCode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheOptimizer",
+    "optimize_cache_placement",
+    "StorageSystemModel",
+    "FileSpec",
+    "CachePlacement",
+    "ReedSolomonCode",
+    "FunctionalCacheCoder",
+    "__version__",
+]

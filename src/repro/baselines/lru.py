@@ -1,0 +1,208 @@
+"""LRU replicated caching -- the Ceph cache-tier baseline.
+
+Ceph's cache tier stores whole replicated objects in a fast pool and evicts
+the least-recently-used ones when capacity is exceeded; every miss promotes
+the object from the erasure-coded storage tier.  The paper uses this policy
+as its baseline and reports roughly a 25% latency disadvantage against the
+optimized functional cache.
+
+Two components are provided:
+
+* :class:`LRUCache` -- a capacity-bounded LRU container (generic, counted in
+  chunks) with hit/miss/eviction statistics.
+* :class:`LRUChunkCachingPolicy` -- drives an LRU cache from a request
+  stream and exposes, for any moment, how many chunks of each file are
+  cached; this is what the simulator and the cluster emulation consume.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import CacheError
+
+
+@dataclass
+class LRUStatistics:
+    """Hit/miss/eviction counters for an LRU cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    insertions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total number of lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups that hit (0 when no lookups were made)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class LRUCache:
+    """A least-recently-used cache with a capacity measured in chunks.
+
+    Keys are arbitrary hashables (file ids in the whole-object mode, or
+    ``(file_id, chunk_index)`` tuples in per-chunk mode); each key carries a
+    size in chunks.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise CacheError(f"capacity must be non-negative, got {capacity}")
+        self._capacity = int(capacity)
+        self._entries: "OrderedDict[object, int]" = OrderedDict()
+        self._used = 0
+        self.stats = LRUStatistics()
+
+    @property
+    def capacity(self) -> int:
+        """Capacity in chunks."""
+        return self._capacity
+
+    @property
+    def used(self) -> int:
+        """Chunks currently stored."""
+        return self._used
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> List[object]:
+        """Keys from least to most recently used."""
+        return list(self._entries.keys())
+
+    def access(self, key: object, size: int = 1) -> bool:
+        """Access ``key``; insert it on a miss.  Returns ``True`` on a hit."""
+        if size <= 0:
+            raise CacheError(f"entry size must be positive, got {size}")
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        self.insert(key, size)
+        return False
+
+    def peek(self, key: object) -> bool:
+        """Check membership without updating recency or statistics."""
+        return key in self._entries
+
+    def insert(self, key: object, size: int = 1) -> None:
+        """Insert ``key`` (evicting LRU entries to make room)."""
+        if size <= 0:
+            raise CacheError(f"entry size must be positive, got {size}")
+        if size > self._capacity:
+            # Object larger than the whole cache: not cacheable, nothing to do.
+            return
+        if key in self._entries:
+            self._used -= self._entries.pop(key)
+        while self._used + size > self._capacity and self._entries:
+            _, evicted_size = self._entries.popitem(last=False)
+            self._used -= evicted_size
+            self.stats.evictions += 1
+        self._entries[key] = size
+        self._used += size
+        self.stats.insertions += 1
+
+    def evict(self, key: object) -> bool:
+        """Explicitly remove ``key``; returns whether it was present."""
+        if key in self._entries:
+            self._used -= self._entries.pop(key)
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are preserved)."""
+        self._entries.clear()
+        self._used = 0
+
+
+class LRUChunkCachingPolicy:
+    """Replicated LRU caching of whole objects, viewed in chunk units.
+
+    Parameters
+    ----------
+    capacity_chunks:
+        Cache capacity in chunk units.
+    chunks_per_file:
+        Mapping from file id to the number of chunks a cached copy occupies.
+        Ceph's cache tier replicates whole objects, so a cached file always
+        occupies all ``k_i`` data chunks (times the replication factor if
+        ``replication > 1``).
+    replication:
+        Replication factor of the cache tier (the paper's baseline uses dual
+        replication, but capacity figures in the paper are already quoted in
+        usable chunks, so the default is 1).
+    """
+
+    def __init__(
+        self,
+        capacity_chunks: int,
+        chunks_per_file: Dict[str, int],
+        replication: int = 1,
+    ):
+        if replication < 1:
+            raise CacheError("replication factor must be at least 1")
+        self._cache = LRUCache(capacity_chunks)
+        self._chunks_per_file = dict(chunks_per_file)
+        self._replication = replication
+
+    @property
+    def cache(self) -> LRUCache:
+        """The underlying LRU container."""
+        return self._cache
+
+    @property
+    def stats(self) -> LRUStatistics:
+        """Hit/miss statistics."""
+        return self._cache.stats
+
+    def file_size_in_cache(self, file_id: str) -> int:
+        """Chunk footprint a cached copy of ``file_id`` occupies."""
+        try:
+            return self._chunks_per_file[file_id] * self._replication
+        except KeyError as error:
+            raise CacheError(f"unknown file id {file_id!r}") from error
+
+    def on_request(self, file_id: str) -> Tuple[bool, int]:
+        """Process a file request.
+
+        Returns
+        -------
+        tuple
+            ``(hit, cached_chunks)`` -- whether the request hit the cache and
+            how many of the file's chunks are served from the cache for this
+            request (all ``k_i`` on a hit, 0 on a miss; the miss also
+            promotes the object, evicting LRU entries).
+        """
+        size = self.file_size_in_cache(file_id)
+        hit = self._cache.access(file_id, size)
+        if hit:
+            return True, self._chunks_per_file[file_id]
+        return False, 0
+
+    def cached_chunks(self, file_id: str) -> int:
+        """Chunks of ``file_id`` currently served from cache (0 or ``k_i``)."""
+        if self._cache.peek(file_id):
+            return self._chunks_per_file[file_id]
+        return 0
+
+    def cached_files(self) -> List[str]:
+        """Files currently resident in the cache (LRU to MRU order)."""
+        return [str(key) for key in self._cache.keys()]
+
+    def warm(self, file_ids: List[str]) -> None:
+        """Pre-populate the cache with the given files (in order)."""
+        for file_id in file_ids:
+            self._cache.insert(file_id, self.file_size_in_cache(file_id))

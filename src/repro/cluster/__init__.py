@@ -1,0 +1,40 @@
+"""Ceph-like object-storage cluster emulation.
+
+The paper prototypes functional caching on a 12-OSD Ceph (Jewel) cluster by
+creating one erasure-coded pool per *equivalent code* ``(7, 4 - d)`` and
+routing each object to the pool matching its current cache allocation; the
+baseline is Ceph's replicated LRU cache tier in front of a single (7,4)
+pool.  This package emulates that setup end-to-end on the discrete-event
+substrate: OSD daemons with FIFO queues and measured HDD service times
+(Table IV), an SSD cache device (Table V), CRUSH-like pseudo-random chunk
+placement with placement groups (Eq. 17), equivalent-code pools and the LRU
+cache tier.
+"""
+
+from repro.cluster.devices import (
+    HDD_SERVICE_TABLE,
+    SSD_CACHE_LATENCY_TABLE,
+    hdd_service_for_chunk_size,
+    ssd_service_for_chunk_size,
+)
+from repro.cluster.crush import CrushMap, placement_group_count
+from repro.cluster.osd import OSD
+from repro.cluster.pool import ErasureCodedPool, PoolConfig
+from repro.cluster.cachetier import CacheTier
+from repro.cluster.cluster import CephLikeCluster, ClusterConfig, ReadResult
+
+__all__ = [
+    "HDD_SERVICE_TABLE",
+    "SSD_CACHE_LATENCY_TABLE",
+    "hdd_service_for_chunk_size",
+    "ssd_service_for_chunk_size",
+    "CrushMap",
+    "placement_group_count",
+    "OSD",
+    "ErasureCodedPool",
+    "PoolConfig",
+    "CacheTier",
+    "CephLikeCluster",
+    "ClusterConfig",
+    "ReadResult",
+]

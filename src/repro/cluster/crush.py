@@ -1,0 +1,133 @@
+"""CRUSH-like pseudo-random data placement with placement groups.
+
+Ceph maps every object to a placement group (PG) by hashing its name, then
+maps each PG to an ordered list of OSDs via the CRUSH algorithm.  The
+emulation reproduces the two-level structure: a deterministic hash assigns
+objects to PGs, and each PG owns a pseudo-random (but fixed) ordered set of
+distinct OSDs large enough for the pool's erasure-code width.  Eq. (17) of
+the paper gives the PG count used by the prototype:
+
+    num_pgs = num_osds * 100 / m        (m = number of coded chunks)
+
+rounded to the next power of two, which is the convention Ceph documents.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ClusterError
+
+
+def placement_group_count(num_osds: int, coded_chunks: int, round_to_power_of_two: bool = False) -> int:
+    """Eq. (17): recommended placement-group count for an erasure-coded pool.
+
+    Parameters
+    ----------
+    num_osds:
+        Number of OSDs backing the pool.
+    coded_chunks:
+        ``m`` in the paper's notation -- the number of parity chunks of the
+        ``(k + m, k)`` code.
+    round_to_power_of_two:
+        Ceph recommends rounding the result up to a power of two; the paper
+        quotes the un-rounded values (256 for the storage pools, 128 for the
+        cache tier), so rounding is off by default.
+    """
+    if num_osds <= 0:
+        raise ClusterError("num_osds must be positive")
+    if coded_chunks <= 0:
+        raise ClusterError("coded_chunks must be positive")
+    count = num_osds * 100 // coded_chunks
+    if count <= 0:
+        count = 1
+    if round_to_power_of_two:
+        power = 1
+        while power < count:
+            power *= 2
+        count = power
+    return count
+
+
+def _stable_hash(text: str) -> int:
+    """Deterministic 64-bit hash of a string (stable across processes)."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class CrushMap:
+    """Maps objects to placement groups and placement groups to OSD lists.
+
+    Parameters
+    ----------
+    osd_ids:
+        The OSDs available to the pool.
+    num_placement_groups:
+        Number of PGs (e.g. from :func:`placement_group_count`).
+    width:
+        Number of distinct OSDs each PG must provide (the erasure-code
+        length ``n`` of the pool).
+    seed:
+        Seed controlling the pseudo-random PG-to-OSD mapping.
+    """
+
+    def __init__(
+        self,
+        osd_ids: Sequence[int],
+        num_placement_groups: int,
+        width: int,
+        seed: int = 0,
+    ):
+        osd_list = list(osd_ids)
+        if len(set(osd_list)) != len(osd_list):
+            raise ClusterError("osd_ids contains duplicates")
+        if width <= 0 or width > len(osd_list):
+            raise ClusterError(
+                f"width {width} must lie in [1, {len(osd_list)}] (number of OSDs)"
+            )
+        if num_placement_groups <= 0:
+            raise ClusterError("num_placement_groups must be positive")
+        self._osd_ids = osd_list
+        self._num_pgs = int(num_placement_groups)
+        self._width = int(width)
+        rng = np.random.default_rng(seed)
+        self._pg_to_osds: Dict[int, List[int]] = {}
+        for pg in range(self._num_pgs):
+            chosen = rng.choice(len(osd_list), size=width, replace=False)
+            self._pg_to_osds[pg] = [osd_list[int(index)] for index in chosen]
+
+    @property
+    def num_placement_groups(self) -> int:
+        """Number of placement groups."""
+        return self._num_pgs
+
+    @property
+    def width(self) -> int:
+        """Number of OSDs each placement group spans."""
+        return self._width
+
+    def placement_group_for(self, object_name: str) -> int:
+        """Deterministically map an object name to a placement group."""
+        return _stable_hash(object_name) % self._num_pgs
+
+    def osds_for_placement_group(self, pg: int) -> List[int]:
+        """The ordered OSD list of placement group ``pg``."""
+        try:
+            return list(self._pg_to_osds[pg])
+        except KeyError as error:
+            raise ClusterError(f"unknown placement group {pg}") from error
+
+    def osds_for_object(self, object_name: str) -> List[int]:
+        """The ordered OSD list that stores ``object_name``'s chunks."""
+        return self.osds_for_placement_group(self.placement_group_for(object_name))
+
+    def pg_distribution(self) -> Dict[int, int]:
+        """How many placement groups land on each OSD (balance diagnostic)."""
+        counts = {osd_id: 0 for osd_id in self._osd_ids}
+        for osds in self._pg_to_osds.values():
+            for osd_id in osds:
+                counts[osd_id] += 1
+        return counts

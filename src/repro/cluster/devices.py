@@ -1,0 +1,129 @@
+"""Storage-device service-time models from the paper's testbed measurements.
+
+Table IV of the paper reports the measured mean and variance of chunk read
+service times at HDD-backed OSDs, and Table V reports the read latency of
+the same chunk sizes from the SAS-SSD cache, for chunk sizes of 1, 4, 16, 64
+and 256 MB.  Since the real testbed is not available, the emulated cluster
+draws service times from log-normal distributions fitted to those published
+moments (the analytical model only consumes the first moments, so the fit
+preserves the quantities the comparison depends on).
+
+All times are in **milliseconds**, matching the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.exceptions import ClusterError
+from repro.queueing.distributions import (
+    DeterministicService,
+    EmpiricalMomentsService,
+    ServiceDistribution,
+)
+
+#: Mean / variance of chunk read service time at an HDD-backed OSD
+#: (Table IV of the paper), keyed by chunk size in MB.  Units: milliseconds.
+HDD_SERVICE_TABLE: Dict[int, Dict[str, float]] = {
+    1: {"mean_ms": 6.6696, "variance_ms2": 0.0963},
+    4: {"mean_ms": 35.8800, "variance_ms2": 2.6925},
+    16: {"mean_ms": 147.8462, "variance_ms2": 388.9872},
+    64: {"mean_ms": 355.0800, "variance_ms2": 1256.6100},
+    256: {"mean_ms": 6758.06, "variance_ms2": 554180.0},
+}
+
+#: Read latency of a chunk from the SAS-SSD cache (Table V of the paper),
+#: keyed by chunk size in MB.  Units: milliseconds.
+SSD_CACHE_LATENCY_TABLE: Dict[int, float] = {
+    1: 1.86619,
+    4: 7.35639,
+    16: 30.4927,
+    64: 97.0968,
+    256: 349.133,
+}
+
+#: Object sizes used in the paper's evaluation and the chunk size each maps
+#: to under a (7, 4) code (object size divided by k = 4).
+OBJECT_TO_CHUNK_SIZE_MB: Dict[int, int] = {
+    4: 1,
+    16: 4,
+    64: 16,
+    256: 64,
+    1024: 256,
+}
+
+
+def hdd_service_for_chunk_size(chunk_size_mb: int) -> ServiceDistribution:
+    """Service-time distribution of an HDD OSD for the given chunk size.
+
+    The distribution is a log-normal fitted to the Table-IV mean/variance.
+    """
+    if chunk_size_mb not in HDD_SERVICE_TABLE:
+        raise ClusterError(
+            f"no HDD measurements for chunk size {chunk_size_mb} MB; "
+            f"known sizes: {sorted(HDD_SERVICE_TABLE)}"
+        )
+    row = HDD_SERVICE_TABLE[chunk_size_mb]
+    return EmpiricalMomentsService(mean=row["mean_ms"], variance=row["variance_ms2"])
+
+
+def ssd_service_for_chunk_size(chunk_size_mb: int, deterministic: bool = True) -> ServiceDistribution:
+    """Read-latency distribution of the SSD cache for the given chunk size.
+
+    Table V only reports a mean, so the default model is deterministic; pass
+    ``deterministic=False`` for a low-variance log-normal (5% coefficient of
+    variation) instead.
+    """
+    if chunk_size_mb not in SSD_CACHE_LATENCY_TABLE:
+        raise ClusterError(
+            f"no SSD measurements for chunk size {chunk_size_mb} MB; "
+            f"known sizes: {sorted(SSD_CACHE_LATENCY_TABLE)}"
+        )
+    mean = SSD_CACHE_LATENCY_TABLE[chunk_size_mb]
+    if deterministic:
+        return DeterministicService(mean)
+    return EmpiricalMomentsService(mean=mean, variance=(0.05 * mean) ** 2)
+
+
+def chunk_size_for_object(object_size_mb: int, k: int = 4) -> int:
+    """Chunk size (MB) of an object under a ``(n, k)`` code.
+
+    The paper's object sizes map exactly onto its measured chunk sizes for
+    ``k = 4``; other combinations fall back to integer division.
+    """
+    if k <= 0:
+        raise ClusterError(f"k must be positive, got {k}")
+    if k == 4 and object_size_mb in OBJECT_TO_CHUNK_SIZE_MB:
+        return OBJECT_TO_CHUNK_SIZE_MB[object_size_mb]
+    chunk = object_size_mb // k
+    if chunk <= 0:
+        raise ClusterError(
+            f"object of {object_size_mb} MB cannot be split into k={k} chunks "
+            "of at least 1 MB"
+        )
+    return chunk
+
+
+def nearest_measured_chunk_size(chunk_size_mb: float) -> int:
+    """Snap an arbitrary chunk size to the nearest measured size."""
+    if chunk_size_mb <= 0:
+        raise ClusterError("chunk size must be positive")
+    return min(HDD_SERVICE_TABLE, key=lambda size: abs(size - chunk_size_mb))
+
+
+def hdd_speed_multipliers(num_osds: int, spread: float = 0.3, seed: int = 7) -> list[float]:
+    """Per-OSD speed multipliers modelling device heterogeneity.
+
+    The paper's simulation uses heterogeneous service rates across the 12
+    servers; the testbed OSDs are nominally identical but still differ in
+    practice.  This helper produces deterministic multipliers in
+    ``[1 - spread, 1 + spread]`` used to scale the Table-IV means per OSD.
+    """
+    import numpy as np
+
+    if num_osds <= 0:
+        raise ClusterError("num_osds must be positive")
+    if not 0.0 <= spread < 1.0:
+        raise ClusterError("spread must lie in [0, 1)")
+    rng = np.random.default_rng(seed)
+    return [float(value) for value in 1.0 + spread * (2.0 * rng.random(num_osds) - 1.0)]

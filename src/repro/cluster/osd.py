@@ -1,0 +1,155 @@
+"""Object Storage Daemon (OSD) emulation.
+
+An OSD in the emulated cluster pairs a FIFO service queue (the same model as
+a storage node in the simulator) with simple object-chunk bookkeeping: which
+chunks it stores, per pool, plus journal/data write accounting.  Service
+times depend on the chunk size being read, mirroring the Table-IV
+measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.devices import hdd_service_for_chunk_size
+from repro.exceptions import ClusterError
+from repro.queueing.distributions import ServiceDistribution
+
+
+@dataclass(frozen=True)
+class ChunkKey:
+    """Identifies one stored chunk: (pool, object, chunk index)."""
+
+    pool: str
+    object_name: str
+    chunk_index: int
+
+
+class OSD:
+    """One emulated object storage daemon backed by an HDD.
+
+    Parameters
+    ----------
+    osd_id:
+        Numeric identifier.
+    speed_multiplier:
+        Scales the mean service time of this OSD relative to the Table-IV
+        measurements (values above 1 mean a slower device).
+    rng:
+        Random generator used for service-time draws.
+    """
+
+    def __init__(
+        self,
+        osd_id: int,
+        speed_multiplier: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if speed_multiplier <= 0:
+            raise ClusterError("speed_multiplier must be positive")
+        self.osd_id = osd_id
+        self._speed_multiplier = float(speed_multiplier)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._busy_until = 0.0
+        self._stored: Dict[ChunkKey, int] = {}
+        self._chunks_read = 0
+        self._chunks_written = 0
+        self._bytes_stored_mb = 0.0
+        self._busy_time = 0.0
+        self._service_cache: Dict[int, ServiceDistribution] = {}
+
+    # ------------------------------------------------------------------
+    # Storage bookkeeping
+    # ------------------------------------------------------------------
+
+    @property
+    def chunks_stored(self) -> int:
+        """Number of chunks currently stored."""
+        return len(self._stored)
+
+    @property
+    def chunks_read(self) -> int:
+        """Number of chunk reads served."""
+        return self._chunks_read
+
+    @property
+    def chunks_written(self) -> int:
+        """Number of chunk writes handled."""
+        return self._chunks_written
+
+    @property
+    def stored_mb(self) -> float:
+        """Total stored data in MB."""
+        return self._bytes_stored_mb
+
+    def store_chunk(self, key: ChunkKey, chunk_size_mb: int) -> None:
+        """Persist a chunk (write path; journal cost is not queued)."""
+        if chunk_size_mb <= 0:
+            raise ClusterError("chunk size must be positive")
+        if key not in self._stored:
+            self._bytes_stored_mb += chunk_size_mb
+        self._stored[key] = chunk_size_mb
+        self._chunks_written += 1
+
+    def has_chunk(self, key: ChunkKey) -> bool:
+        """Whether this OSD stores the given chunk."""
+        return key in self._stored
+
+    def drop_chunk(self, key: ChunkKey) -> bool:
+        """Remove a chunk (used when pools are deleted); returns presence."""
+        size = self._stored.pop(key, None)
+        if size is None:
+            return False
+        self._bytes_stored_mb -= size
+        return True
+
+    # ------------------------------------------------------------------
+    # Read path (FIFO queue)
+    # ------------------------------------------------------------------
+
+    def _service_for(self, chunk_size_mb: int) -> ServiceDistribution:
+        if chunk_size_mb not in self._service_cache:
+            self._service_cache[chunk_size_mb] = hdd_service_for_chunk_size(chunk_size_mb)
+        return self._service_cache[chunk_size_mb]
+
+    def read_chunk(self, key: ChunkKey, arrival_time: float) -> Tuple[float, float]:
+        """Serve a chunk read; returns ``(completion_time, service_time)``.
+
+        Raises
+        ------
+        ClusterError
+            If the chunk is not stored on this OSD.
+        """
+        size = self._stored.get(key)
+        if size is None:
+            raise ClusterError(
+                f"OSD {self.osd_id} does not store chunk {key.object_name}#"
+                f"{key.chunk_index} of pool {key.pool!r}"
+            )
+        service = self._service_for(size)
+        service_time = float(service.sample(self._rng)) * self._speed_multiplier
+        start = max(arrival_time, self._busy_until)
+        completion = start + service_time
+        self._busy_until = completion
+        self._busy_time += service_time
+        self._chunks_read += 1
+        return completion, service_time
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` spent serving reads."""
+        if horizon <= 0:
+            raise ClusterError("horizon must be positive")
+        return min(self._busy_time / horizon, 1.0)
+
+    def backlog(self, now: float) -> float:
+        """Outstanding work (time units) queued at time ``now``."""
+        return max(self._busy_until - now, 0.0)
+
+    def reset_queue(self) -> None:
+        """Clear queue state but keep stored chunks."""
+        self._busy_until = 0.0
+        self._busy_time = 0.0
+        self._chunks_read = 0

@@ -1,0 +1,249 @@
+"""Erasure-coded object pools, including the equivalent-code pools.
+
+The prototype in the paper implements functional caching on Ceph by creating
+one erasure-coded pool per *equivalent code* ``(7, 4 - d)``: a file with
+``d`` functional chunks in the (negligible-latency) cache behaves, for read
+latency purposes, exactly like a file coded ``(n, k - d)`` read entirely
+from the storage tier.  A pool therefore knows its ``(n, k)`` parameters,
+owns a CRUSH map over the cluster's OSDs, stores object chunks on write, and
+on read fetches the ``k`` least-backlogged replicas of the object's chunk
+set (the optimal request scheduling the extra flexibility enables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.crush import CrushMap, placement_group_count
+from repro.cluster.osd import OSD, ChunkKey
+from repro.exceptions import ClusterError, ObjectNotFoundError
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Static description of an erasure-coded pool."""
+
+    name: str
+    n: int
+    k: int
+    chunk_size_mb: int
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ClusterError(f"pool {self.name}: k must be non-negative")
+        if self.n <= 0 or (self.k > 0 and self.n < self.k):
+            raise ClusterError(
+                f"pool {self.name}: invalid code ({self.n}, {self.k})"
+            )
+        if self.chunk_size_mb <= 0:
+            raise ClusterError(f"pool {self.name}: chunk size must be positive")
+
+    @property
+    def parity_chunks(self) -> int:
+        """Number of parity chunks ``m = n - k`` (``n`` when ``k = 0``)."""
+        return self.n - self.k if self.k > 0 else self.n
+
+
+@dataclass
+class ObjectRecord:
+    """Metadata of one stored object."""
+
+    name: str
+    size_mb: int
+    chunk_osds: List[int]
+
+
+class ErasureCodedPool:
+    """An erasure-coded pool over a shared set of OSDs.
+
+    Parameters
+    ----------
+    config:
+        Pool parameters (name, code, chunk size).
+    osds:
+        The cluster's OSDs, keyed by id; all pools in the paper's prototype
+        share the same 12 OSDs.
+    crush_seed:
+        Seed for this pool's CRUSH map.
+    """
+
+    def __init__(
+        self,
+        config: PoolConfig,
+        osds: Dict[int, OSD],
+        crush_seed: int = 0,
+    ):
+        if not osds:
+            raise ClusterError("a pool requires at least one OSD")
+        if config.n > len(osds):
+            raise ClusterError(
+                f"pool {config.name}: code length {config.n} exceeds OSD count {len(osds)}"
+            )
+        self._config = config
+        self._osds = osds
+        num_pgs = placement_group_count(len(osds), config.parity_chunks)
+        self._crush = CrushMap(
+            sorted(osds), num_placement_groups=num_pgs, width=config.n, seed=crush_seed
+        )
+        self._objects: Dict[str, ObjectRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> PoolConfig:
+        """The pool's static configuration."""
+        return self._config
+
+    @property
+    def name(self) -> str:
+        """Pool name."""
+        return self._config.name
+
+    @property
+    def crush(self) -> CrushMap:
+        """The pool's CRUSH map."""
+        return self._crush
+
+    @property
+    def num_objects(self) -> int:
+        """Number of objects stored in this pool."""
+        return len(self._objects)
+
+    def object_names(self) -> List[str]:
+        """Names of all stored objects."""
+        return list(self._objects)
+
+    def has_object(self, object_name: str) -> bool:
+        """Whether the pool stores ``object_name``."""
+        return object_name in self._objects
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def write_object(self, object_name: str, size_mb: int) -> ObjectRecord:
+        """Encode and store an object's ``n`` chunks on the pool's OSDs."""
+        if size_mb <= 0:
+            raise ClusterError("object size must be positive")
+        osd_ids = self._crush.osds_for_object(object_name)
+        record = ObjectRecord(name=object_name, size_mb=size_mb, chunk_osds=osd_ids)
+        for chunk_index, osd_id in enumerate(osd_ids):
+            key = ChunkKey(
+                pool=self._config.name,
+                object_name=object_name,
+                chunk_index=chunk_index,
+            )
+            self._osds[osd_id].store_chunk(key, self._config.chunk_size_mb)
+        self._objects[object_name] = record
+        return record
+
+    def delete_object(self, object_name: str) -> None:
+        """Remove an object and its chunks from the pool."""
+        record = self._objects.pop(object_name, None)
+        if record is None:
+            raise ObjectNotFoundError(
+                f"object {object_name!r} not found in pool {self._config.name!r}"
+            )
+        for chunk_index, osd_id in enumerate(record.chunk_osds):
+            key = ChunkKey(
+                pool=self._config.name,
+                object_name=object_name,
+                chunk_index=chunk_index,
+            )
+            self._osds[osd_id].drop_chunk(key)
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def read_object(
+        self,
+        object_name: str,
+        arrival_time: float,
+        rng: Optional[np.random.Generator] = None,
+        scheduling: str = "least_backlog",
+    ) -> Tuple[float, List[int]]:
+        """Read an object: fetch ``k`` of its ``n`` chunks and join.
+
+        Parameters
+        ----------
+        object_name:
+            Which object to read.
+        arrival_time:
+            Time the read arrives at the pool.
+        rng:
+            Needed when ``scheduling="random"``.
+        scheduling:
+            ``"least_backlog"`` (default -- contact the ``k`` OSDs with the
+            smallest outstanding work, which is what the extra flexibility
+            of erasure coding enables) or ``"random"`` (uniformly random
+            ``k``-subset).
+
+        Returns
+        -------
+        tuple
+            ``(completion_time, osds_used)``.  For a ``k = 0`` pool (the
+            fully-cached ``(7, 0)`` pool) the read completes immediately and
+            uses no OSDs.
+        """
+        record = self._objects.get(object_name)
+        if record is None:
+            raise ObjectNotFoundError(
+                f"object {object_name!r} not found in pool {self._config.name!r}"
+            )
+        k = self._config.k
+        if k == 0:
+            return arrival_time, []
+        candidates = list(enumerate(record.chunk_osds))
+        if scheduling == "least_backlog":
+            candidates.sort(key=lambda item: self._osds[item[1]].backlog(arrival_time))
+            chosen = candidates[:k]
+        elif scheduling == "random":
+            if rng is None:
+                rng = np.random.default_rng()
+            indices = rng.choice(len(candidates), size=k, replace=False)
+            chosen = [candidates[int(index)] for index in indices]
+        else:
+            raise ClusterError(f"unknown scheduling policy {scheduling!r}")
+        completions = []
+        osds_used = []
+        for chunk_index, osd_id in chosen:
+            key = ChunkKey(
+                pool=self._config.name,
+                object_name=object_name,
+                chunk_index=chunk_index,
+            )
+            completion, _ = self._osds[osd_id].read_chunk(key, arrival_time)
+            completions.append(completion)
+            osds_used.append(osd_id)
+        return max(completions), osds_used
+
+
+def equivalent_code_pools(
+    base_n: int,
+    base_k: int,
+    chunk_size_mb: int,
+    osds: Dict[int, OSD],
+    crush_seed: int = 0,
+) -> Dict[int, ErasureCodedPool]:
+    """Create the family of equivalent-code pools ``(n, k - d)`` for ``d = 0..k``.
+
+    Returns a mapping from the cache allocation ``d`` to the pool serving
+    objects with that allocation, mirroring the five pools (7,4)...(7,0) of
+    the prototype.
+    """
+    pools: Dict[int, ErasureCodedPool] = {}
+    for d in range(base_k + 1):
+        config = PoolConfig(
+            name=f"ec-{base_n}-{base_k - d}",
+            n=base_n,
+            k=base_k - d,
+            chunk_size_mb=chunk_size_mb,
+        )
+        pools[d] = ErasureCodedPool(config, osds, crush_seed=crush_seed + d)
+    return pools

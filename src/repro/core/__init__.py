@@ -1,0 +1,36 @@
+"""Core contribution of the Sprout paper: the latency bound for functional
+caching and the cache-content optimization (Algorithm 1).
+
+Public entry points:
+
+* :class:`repro.core.model.StorageSystemModel` -- files, codes, placement,
+  server service distributions and per-file arrival rates.
+* :func:`repro.core.bound.system_objective` -- the weighted latency bound of
+  Eq. (6) for a candidate solution.
+* :class:`repro.core.algorithm.CacheOptimizer` -- Algorithm 1 (alternating
+  minimization with iterative integer rounding).
+* :class:`repro.core.placement.CachePlacement` -- the optimized placement,
+  scheduling probabilities and per-file latency bounds.
+* :class:`repro.core.timebins.TimeBinScheduler` -- re-optimization across
+  time bins with warm starts and incremental cache-content updates.
+"""
+
+from repro.core.model import FileSpec, StorageSystemModel
+from repro.core.bound import SolutionState, system_objective, per_file_bounds
+from repro.core.algorithm import CacheOptimizer, OptimizationResult
+from repro.core.placement import CachePlacement
+from repro.core.timebins import TimeBin, TimeBinScheduler, CacheContentDelta
+
+__all__ = [
+    "FileSpec",
+    "StorageSystemModel",
+    "SolutionState",
+    "system_objective",
+    "per_file_bounds",
+    "CacheOptimizer",
+    "OptimizationResult",
+    "CachePlacement",
+    "TimeBin",
+    "TimeBinScheduler",
+    "CacheContentDelta",
+]

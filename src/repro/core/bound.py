@@ -1,0 +1,202 @@
+"""Evaluation of the weighted latency bound (Eq. 6) for candidate solutions.
+
+The optimization in :mod:`repro.core.algorithm` iterates over two variable
+groups -- the per-file auxiliary scalars ``z_i`` and the scheduling
+probabilities ``pi_{i,j}``.  This module packages a candidate point as a
+:class:`SolutionState` and evaluates the objective, the per-file bounds, the
+node loads and the gradients needed by the solvers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import math
+
+from repro.core.model import StorageSystemModel
+from repro.exceptions import OptimizationError
+from repro.queueing.mg1 import QueueMoments, queue_moment_derivatives, queue_moments
+from repro.queueing.order_stats import latency_bound_at_z, optimal_z
+
+
+@dataclass
+class SolutionState:
+    """A candidate solution of the cache optimization.
+
+    Attributes
+    ----------
+    probabilities:
+        One mapping per file (aligned with the model's file order) from node
+        id to the scheduling probability ``pi_{i,j}``.
+    z_values:
+        Per-file auxiliary variables ``z_i``.
+    """
+
+    probabilities: List[Dict[int, float]]
+    z_values: List[float] = field(default_factory=list)
+
+    def copy(self) -> "SolutionState":
+        """Deep copy of the candidate solution."""
+        return SolutionState(
+            probabilities=[dict(p) for p in self.probabilities],
+            z_values=list(self.z_values),
+        )
+
+    def cache_allocation(self, model: StorageSystemModel) -> List[float]:
+        """Return per-file cache allocations ``d_i = k_i - sum_j pi_{i,j}``.
+
+        Fractional values are possible before the integer rounding finishes.
+        """
+        allocations = []
+        for spec, file_probs in zip(model.files, self.probabilities):
+            allocations.append(spec.k - sum(file_probs.values()))
+        return allocations
+
+    def total_cache_usage(self, model: StorageSystemModel) -> float:
+        """Total (possibly fractional) number of cached chunks."""
+        return sum(max(d, 0.0) for d in self.cache_allocation(model))
+
+
+def initial_solution(model: StorageSystemModel) -> SolutionState:
+    """Build a feasible starting point with nothing in the cache.
+
+    Every file spreads its ``k_i`` chunk requests uniformly over its ``n_i``
+    hosting nodes (``pi_{i,j} = k_i / n_i <= 1``), which satisfies all
+    constraints with ``d_i = 0``.
+    """
+    probabilities: List[Dict[int, float]] = []
+    for spec in model.files:
+        pi = spec.k / spec.n
+        probabilities.append({node_id: pi for node_id in spec.placement})
+    state = SolutionState(probabilities=probabilities, z_values=[0.0] * model.num_files)
+    moments = node_moments(model, state)
+    state.z_values = [
+        optimal_z(file_probs, {j: moments[j] for j in file_probs})
+        for file_probs in state.probabilities
+    ]
+    return state
+
+
+def node_moments(
+    model: StorageSystemModel,
+    state: SolutionState,
+    strict: bool = False,
+) -> Dict[int, QueueMoments]:
+    """Sojourn-time moments at every node under the candidate schedule."""
+    arrival_rates = model.node_arrival_rates(state.probabilities)
+    moments: Dict[int, QueueMoments] = {}
+    for node_id in model.node_ids:
+        moments[node_id] = queue_moments(
+            arrival_rates[node_id], model.service(node_id), strict=strict
+        )
+    return moments
+
+
+def per_file_bounds(
+    model: StorageSystemModel,
+    state: SolutionState,
+    moments: Optional[Mapping[int, QueueMoments]] = None,
+    use_given_z: bool = False,
+) -> List[float]:
+    """Per-file latency bounds ``U_i`` for the candidate solution.
+
+    Parameters
+    ----------
+    use_given_z:
+        When ``True`` the bounds are evaluated at the candidate ``z_i``;
+        otherwise each file's bound is minimised over ``z_i`` (tightest).
+    """
+    if moments is None:
+        moments = node_moments(model, state)
+    bounds: List[float] = []
+    for index, file_probs in enumerate(state.probabilities):
+        relevant = {j: moments[j] for j in file_probs}
+        if use_given_z and state.z_values:
+            bounds.append(
+                latency_bound_at_z(state.z_values[index], file_probs, relevant)
+            )
+        else:
+            z_star = optimal_z(file_probs, relevant)
+            bounds.append(latency_bound_at_z(z_star, file_probs, relevant))
+    return bounds
+
+
+def system_objective(
+    model: StorageSystemModel,
+    state: SolutionState,
+    moments: Optional[Mapping[int, QueueMoments]] = None,
+    use_given_z: bool = False,
+) -> float:
+    """The weighted objective of Eq. (6): ``sum_i (lambda_i / lambda_hat) U_i``."""
+    total_rate = model.total_arrival_rate
+    if total_rate <= 0:
+        raise OptimizationError("total arrival rate must be positive")
+    bounds = per_file_bounds(model, state, moments=moments, use_given_z=use_given_z)
+    objective = 0.0
+    for spec, bound in zip(model.files, bounds):
+        objective += (spec.arrival_rate / total_rate) * bound
+    return objective
+
+
+def objective_gradient_pi(
+    model: StorageSystemModel,
+    state: SolutionState,
+) -> List[Dict[int, float]]:
+    """Gradient of the Eq. (6) objective with respect to every ``pi_{i,j}``.
+
+    The objective couples files through the node arrival rates
+    ``Lambda_j = sum_i lambda_i pi_{i,j}``: increasing ``pi_{i,j}`` both adds
+    a direct term for file ``i`` and inflates the queueing moments that every
+    file scheduling node ``j`` experiences.  Both effects are accounted for.
+    """
+    total_rate = model.total_arrival_rate
+    arrival_rates = model.node_arrival_rates(state.probabilities)
+    moments: Dict[int, QueueMoments] = {}
+    moment_derivatives: Dict[int, tuple] = {}
+    for node_id in model.node_ids:
+        service = model.service(node_id)
+        moments[node_id] = queue_moments(arrival_rates[node_id], service, strict=False)
+        moment_derivatives[node_id] = queue_moment_derivatives(
+            arrival_rates[node_id], service
+        )
+
+    # Pre-compute, for every node, the sensitivity of the whole objective to
+    # the node's E[Q_j] and Var[Q_j]:  sum over files using that node of the
+    # weighted partial derivatives of the Lemma-1 expression.
+    sensitivity_mean: Dict[int, float] = {j: 0.0 for j in model.node_ids}
+    sensitivity_var: Dict[int, float] = {j: 0.0 for j in model.node_ids}
+    direct_terms: List[Dict[int, float]] = []
+    for index, (spec, file_probs) in enumerate(zip(model.files, state.probabilities)):
+        weight = spec.arrival_rate / total_rate
+        z_i = state.z_values[index] if state.z_values else 0.0
+        direct: Dict[int, float] = {}
+        for node_id, pi in file_probs.items():
+            moment = moments[node_id]
+            diff = moment.mean - z_i
+            root = math.sqrt(diff * diff + moment.variance)
+            # Direct derivative of the file-i bound w.r.t. pi_{i,j}.
+            direct[node_id] = weight * 0.5 * (diff + root)
+            # Derivative w.r.t. the node moments (chain rule terms).
+            if root > 0:
+                d_mean = weight * 0.5 * pi * (1.0 + diff / root)
+                d_var = weight * 0.25 * pi / root
+            else:
+                d_mean = weight * 0.5 * pi
+                d_var = 0.0
+            sensitivity_mean[node_id] += d_mean
+            sensitivity_var[node_id] += d_var
+        direct_terms.append(direct)
+
+    gradients: List[Dict[int, float]] = []
+    for spec, file_probs, direct in zip(model.files, state.probabilities, direct_terms):
+        gradient: Dict[int, float] = {}
+        for node_id in file_probs:
+            d_mean_d_lambda, d_var_d_lambda = moment_derivatives[node_id]
+            coupling = spec.arrival_rate * (
+                sensitivity_mean[node_id] * d_mean_d_lambda
+                + sensitivity_var[node_id] * d_var_d_lambda
+            )
+            gradient[node_id] = direct[node_id] + coupling
+        gradients.append(gradient)
+    return gradients

@@ -1,0 +1,342 @@
+"""Storage-system model used by the cache optimization.
+
+A :class:`StorageSystemModel` captures everything Section III of the paper
+needs for a single compute-server cache in a single time bin:
+
+* ``m`` heterogeneous storage nodes, each with an arbitrary chunk
+  service-time distribution,
+* ``r`` files, each stored with an ``(n_i, k_i)`` MDS code on a node subset
+  ``S_i``,
+* per-file Poisson request arrival rates ``lambda_i``,
+* a cache of capacity ``C`` chunks shared by all files.
+
+The model is a plain data container plus validation and convenience
+accessors; the optimization lives in :mod:`repro.core.algorithm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.queueing.distributions import ExponentialService, ServiceDistribution
+
+
+@dataclass
+class FileSpec:
+    """Description of one erasure-coded file.
+
+    Attributes
+    ----------
+    file_id:
+        Stable identifier of the file (used in placements and reports).
+    n:
+        Number of coded chunks stored on storage nodes.
+    k:
+        Number of chunks required to reconstruct the file.
+    placement:
+        The node ids in ``S_i`` holding the file's ``n`` chunks.
+    arrival_rate:
+        Poisson request arrival rate ``lambda_i`` (requests per second).
+    chunk_size:
+        Chunk size in bytes (used by the simulator and the cluster
+        emulation; the analytical model is size-agnostic because the service
+        distributions already absorb the transfer time).
+    size_bytes:
+        Original file size; defaults to ``k * chunk_size``.
+    """
+
+    file_id: str
+    n: int
+    k: int
+    placement: Sequence[int]
+    arrival_rate: float
+    chunk_size: int = 1
+    size_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.placement = tuple(self.placement)
+        if self.k <= 0:
+            raise ModelError(f"file {self.file_id}: k must be positive, got {self.k}")
+        if self.n < self.k:
+            raise ModelError(
+                f"file {self.file_id}: n ({self.n}) must be at least k ({self.k})"
+            )
+        if len(self.placement) != self.n:
+            raise ModelError(
+                f"file {self.file_id}: placement lists {len(self.placement)} nodes "
+                f"but n={self.n}"
+            )
+        if len(set(self.placement)) != len(self.placement):
+            raise ModelError(
+                f"file {self.file_id}: placement contains duplicate nodes"
+            )
+        if self.arrival_rate < 0:
+            raise ModelError(
+                f"file {self.file_id}: arrival rate must be non-negative, "
+                f"got {self.arrival_rate}"
+            )
+        if self.chunk_size <= 0:
+            raise ModelError(
+                f"file {self.file_id}: chunk size must be positive, got {self.chunk_size}"
+            )
+        if self.size_bytes is None:
+            self.size_bytes = self.k * self.chunk_size
+
+    @property
+    def redundancy_factor(self) -> float:
+        """Storage overhead ``n / k``."""
+        return self.n / self.k
+
+
+class StorageSystemModel:
+    """The full single-cache system model of Section III.
+
+    Parameters
+    ----------
+    services:
+        Per-node chunk service-time distributions, keyed by node id
+        ``0 .. m-1`` (or given as a sequence).
+    files:
+        The files stored in the system.
+    cache_capacity:
+        Cache size ``C`` in chunks.
+    """
+
+    def __init__(
+        self,
+        services: Sequence[ServiceDistribution] | Mapping[int, ServiceDistribution],
+        files: Sequence[FileSpec],
+        cache_capacity: int,
+    ):
+        if isinstance(services, Mapping):
+            self._services: Dict[int, ServiceDistribution] = dict(services)
+        else:
+            self._services = dict(enumerate(services))
+        if not self._services:
+            raise ModelError("the model requires at least one storage node")
+        for node_id, service in self._services.items():
+            service.validate()
+            if node_id < 0:
+                raise ModelError(f"node ids must be non-negative, got {node_id}")
+        self._files: List[FileSpec] = list(files)
+        if not self._files:
+            raise ModelError("the model requires at least one file")
+        seen_ids = set()
+        for spec in self._files:
+            if spec.file_id in seen_ids:
+                raise ModelError(f"duplicate file id {spec.file_id!r}")
+            seen_ids.add(spec.file_id)
+            for node_id in spec.placement:
+                if node_id not in self._services:
+                    raise ModelError(
+                        f"file {spec.file_id} placed on unknown node {node_id}"
+                    )
+        if cache_capacity < 0:
+            raise ModelError(f"cache capacity must be non-negative, got {cache_capacity}")
+        self._cache_capacity = int(cache_capacity)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of storage nodes ``m``."""
+        return len(self._services)
+
+    @property
+    def num_files(self) -> int:
+        """Number of files ``r``."""
+        return len(self._files)
+
+    @property
+    def node_ids(self) -> List[int]:
+        """Sorted list of node ids."""
+        return sorted(self._services)
+
+    @property
+    def files(self) -> List[FileSpec]:
+        """The file specifications (shared list; treat as read-only)."""
+        return list(self._files)
+
+    @property
+    def cache_capacity(self) -> int:
+        """Cache capacity ``C`` in chunks."""
+        return self._cache_capacity
+
+    @property
+    def total_arrival_rate(self) -> float:
+        """Aggregate file request rate ``lambda_hat``."""
+        return float(sum(spec.arrival_rate for spec in self._files))
+
+    def service(self, node_id: int) -> ServiceDistribution:
+        """Return the service distribution of ``node_id``."""
+        try:
+            return self._services[node_id]
+        except KeyError as error:
+            raise ModelError(f"unknown node id {node_id}") from error
+
+    @property
+    def services(self) -> Dict[int, ServiceDistribution]:
+        """Mapping from node id to service distribution (copy)."""
+        return dict(self._services)
+
+    def file(self, file_id: str) -> FileSpec:
+        """Return the specification of file ``file_id``."""
+        for spec in self._files:
+            if spec.file_id == file_id:
+                return spec
+        raise ModelError(f"unknown file id {file_id!r}")
+
+    def file_index(self, file_id: str) -> int:
+        """Return the positional index of ``file_id``."""
+        for index, spec in enumerate(self._files):
+            if spec.file_id == file_id:
+                return index
+        raise ModelError(f"unknown file id {file_id!r}")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    def node_arrival_rates(
+        self, probabilities: Sequence[Mapping[int, float]]
+    ) -> Dict[int, float]:
+        """Aggregate chunk arrival rate ``Lambda_j`` per node.
+
+        ``Lambda_j = sum_i lambda_i * pi_{i,j}`` for a candidate scheduling
+        assignment ``probabilities`` aligned with :attr:`files`.
+        """
+        if len(probabilities) != self.num_files:
+            raise ModelError(
+                f"expected probabilities for {self.num_files} files, "
+                f"got {len(probabilities)}"
+            )
+        rates = {node_id: 0.0 for node_id in self._services}
+        for spec, file_probs in zip(self._files, probabilities):
+            for node_id, pi in file_probs.items():
+                if node_id not in rates:
+                    raise ModelError(
+                        f"file {spec.file_id} schedules unknown node {node_id}"
+                    )
+                if node_id not in spec.placement and pi > 0:
+                    raise ModelError(
+                        f"file {spec.file_id} schedules node {node_id} that does "
+                        "not hold any of its chunks"
+                    )
+                rates[node_id] += spec.arrival_rate * float(pi)
+        return rates
+
+    def max_cache_demand(self) -> int:
+        """Total cache demand if every file cached all ``k_i`` chunks."""
+        return int(sum(spec.k for spec in self._files))
+
+    def copy_with_arrival_rates(
+        self, arrival_rates: Mapping[str, float] | Sequence[float]
+    ) -> "StorageSystemModel":
+        """Return a new model identical to this one but with new arrival rates.
+
+        Used by the time-bin scheduler when the predicted rates change.
+        """
+        if isinstance(arrival_rates, Mapping):
+            new_files = []
+            for spec in self._files:
+                rate = arrival_rates.get(spec.file_id, spec.arrival_rate)
+                new_files.append(
+                    FileSpec(
+                        file_id=spec.file_id,
+                        n=spec.n,
+                        k=spec.k,
+                        placement=spec.placement,
+                        arrival_rate=rate,
+                        chunk_size=spec.chunk_size,
+                        size_bytes=spec.size_bytes,
+                    )
+                )
+        else:
+            rates = list(arrival_rates)
+            if len(rates) != self.num_files:
+                raise ModelError(
+                    f"expected {self.num_files} arrival rates, got {len(rates)}"
+                )
+            new_files = [
+                FileSpec(
+                    file_id=spec.file_id,
+                    n=spec.n,
+                    k=spec.k,
+                    placement=spec.placement,
+                    arrival_rate=rate,
+                    chunk_size=spec.chunk_size,
+                    size_bytes=spec.size_bytes,
+                )
+                for spec, rate in zip(self._files, rates)
+            ]
+        return StorageSystemModel(
+            services=self._services,
+            files=new_files,
+            cache_capacity=self._cache_capacity,
+        )
+
+    def copy_with_cache_capacity(self, cache_capacity: int) -> "StorageSystemModel":
+        """Return a new model with a different cache capacity."""
+        return StorageSystemModel(
+            services=self._services,
+            files=self._files,
+            cache_capacity=cache_capacity,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StorageSystemModel(nodes={self.num_nodes}, files={self.num_files}, "
+            f"cache_capacity={self._cache_capacity})"
+        )
+
+
+def build_random_placement_model(
+    num_nodes: int,
+    num_files: int,
+    n: int,
+    k: int,
+    arrival_rates: Sequence[float],
+    service_rates: Sequence[float],
+    cache_capacity: int,
+    chunk_size: int = 1,
+    seed: Optional[int] = None,
+) -> StorageSystemModel:
+    """Build the paper's default style of model with random chunk placement.
+
+    Parameters mirror the simulation setup of Section V-A: ``num_nodes``
+    servers with exponential service at the given rates, ``num_files`` files
+    each ``(n, k)``-coded and placed on a random ``n``-subset of nodes, and a
+    cyclic assignment of the provided arrival-rate pattern to files.
+    """
+    if len(service_rates) != num_nodes:
+        raise ModelError(
+            f"expected {num_nodes} service rates, got {len(service_rates)}"
+        )
+    if n > num_nodes:
+        raise ModelError(f"n={n} exceeds the number of nodes {num_nodes}")
+    if not arrival_rates:
+        raise ModelError("arrival_rates must not be empty")
+    rng = np.random.default_rng(seed)
+    services = [ExponentialService(rate) for rate in service_rates]
+    files = []
+    for index in range(num_files):
+        placement = rng.choice(num_nodes, size=n, replace=False)
+        files.append(
+            FileSpec(
+                file_id=f"file-{index}",
+                n=n,
+                k=k,
+                placement=[int(node) for node in placement],
+                arrival_rate=float(arrival_rates[index % len(arrival_rates)]),
+                chunk_size=chunk_size,
+            )
+        )
+    return StorageSystemModel(
+        services=services, files=files, cache_capacity=cache_capacity
+    )

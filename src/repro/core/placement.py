@@ -1,0 +1,200 @@
+"""Cache-placement results produced by the optimization.
+
+A :class:`CachePlacement` is the user-facing output of Algorithm 1: the
+integer number of functional chunks to cache per file, the scheduling
+probabilities for the chunks fetched from storage, and the analytical
+latency bounds achieved.  It also knows how to express the placement as the
+"equivalent code" view used by the Ceph prototype (a file with ``d`` cached
+chunks is read as if it were ``(n, k - d)`` coded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.model import StorageSystemModel
+from repro.exceptions import ModelError
+
+
+@dataclass
+class FilePlacement:
+    """Placement decision for a single file."""
+
+    file_id: str
+    cached_chunks: int
+    scheduling_probabilities: Dict[int, float]
+    latency_bound: float
+    arrival_rate: float
+    k: int
+    n: int
+
+    @property
+    def storage_chunks_per_request(self) -> int:
+        """Number of chunks fetched from storage per read (``k - d``)."""
+        return self.k - self.cached_chunks
+
+    @property
+    def equivalent_code(self) -> tuple[int, int]:
+        """The Ceph-prototype equivalent code ``(n, k - d)``."""
+        return (self.n, self.k - self.cached_chunks)
+
+    @property
+    def fully_cached(self) -> bool:
+        """Whether the whole file can be reconstructed from the cache."""
+        return self.cached_chunks >= self.k
+
+
+@dataclass
+class CachePlacement:
+    """Complete cache placement for one compute-server cache and time bin.
+
+    Attributes
+    ----------
+    files:
+        Per-file placement decisions, in the model's file order.
+    objective:
+        The weighted latency bound (Eq. 6) achieved by this placement.
+    cache_capacity:
+        Cache capacity (in chunks) the placement was computed for.
+    time_bin:
+        Optional identifier of the time bin the placement belongs to.
+    """
+
+    files: List[FilePlacement]
+    objective: float
+    cache_capacity: int
+    time_bin: Optional[int] = None
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def placement_for(self, file_id: str) -> FilePlacement:
+        """Return the placement entry of ``file_id``."""
+        for entry in self.files:
+            if entry.file_id == file_id:
+                return entry
+        raise ModelError(f"no placement for file {file_id!r}")
+
+    def cached_chunks(self) -> Dict[str, int]:
+        """Mapping from file id to the number of cached chunks ``d_i``."""
+        return {entry.file_id: entry.cached_chunks for entry in self.files}
+
+    def scheduling_probabilities(self) -> Dict[str, Dict[int, float]]:
+        """Mapping from file id to its per-node scheduling probabilities."""
+        return {
+            entry.file_id: dict(entry.scheduling_probabilities)
+            for entry in self.files
+        }
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def total_cached_chunks(self) -> int:
+        """Total number of chunks placed in the cache."""
+        return sum(entry.cached_chunks for entry in self.files)
+
+    @property
+    def cache_utilization(self) -> float:
+        """Fraction of the cache capacity used (0 when capacity is 0)."""
+        if self.cache_capacity == 0:
+            return 0.0
+        return self.total_cached_chunks / self.cache_capacity
+
+    def mean_latency_bound(self) -> float:
+        """Arrival-rate weighted mean of the per-file latency bounds."""
+        total_rate = sum(entry.arrival_rate for entry in self.files)
+        if total_rate <= 0:
+            raise ModelError("total arrival rate must be positive")
+        return sum(
+            entry.arrival_rate / total_rate * entry.latency_bound
+            for entry in self.files
+        )
+
+    def pool_assignment(self) -> Dict[tuple[int, int], List[str]]:
+        """Group files by equivalent code -- the Ceph object-pool map.
+
+        The prototype in the paper creates one pool per equivalent code
+        ``(n, k - d)`` and assigns each object to the pool matching its
+        current cache allocation.
+        """
+        pools: Dict[tuple[int, int], List[str]] = {}
+        for entry in self.files:
+            pools.setdefault(entry.equivalent_code, []).append(entry.file_id)
+        return pools
+
+    def validate_against(self, model: StorageSystemModel) -> None:
+        """Sanity-check the placement against a model (capacity, supports)."""
+        if len(self.files) != model.num_files:
+            raise ModelError(
+                f"placement covers {len(self.files)} files, model has {model.num_files}"
+            )
+        if self.total_cached_chunks > model.cache_capacity:
+            raise ModelError(
+                f"placement uses {self.total_cached_chunks} chunks, capacity is "
+                f"{model.cache_capacity}"
+            )
+        for entry, spec in zip(self.files, model.files):
+            if entry.file_id != spec.file_id:
+                raise ModelError(
+                    "placement file order does not match the model "
+                    f"({entry.file_id!r} vs {spec.file_id!r})"
+                )
+            if not 0 <= entry.cached_chunks <= spec.k:
+                raise ModelError(
+                    f"file {entry.file_id}: cached chunks {entry.cached_chunks} "
+                    f"outside [0, {spec.k}]"
+                )
+            for node_id, pi in entry.scheduling_probabilities.items():
+                if node_id not in spec.placement and pi > 1e-9:
+                    raise ModelError(
+                        f"file {entry.file_id}: schedules node {node_id} that "
+                        "holds none of its chunks"
+                    )
+                if pi < -1e-9 or pi > 1.0 + 1e-9:
+                    raise ModelError(
+                        f"file {entry.file_id}: probability {pi} outside [0, 1]"
+                    )
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary of the placement."""
+        lines = [
+            f"CachePlacement(time_bin={self.time_bin}, "
+            f"objective={self.objective:.4f}, "
+            f"cached={self.total_cached_chunks}/{self.cache_capacity})"
+        ]
+        for entry in self.files:
+            lines.append(
+                f"  {entry.file_id}: d={entry.cached_chunks} "
+                f"(equivalent code {entry.equivalent_code}), "
+                f"U_i={entry.latency_bound:.4f}"
+            )
+        return "\n".join(lines)
+
+
+def placement_histogram(placement: CachePlacement) -> Dict[int, int]:
+    """Histogram of cache allocations: how many files cache ``d`` chunks."""
+    histogram: Dict[int, int] = {}
+    for entry in placement.files:
+        histogram[entry.cached_chunks] = histogram.get(entry.cached_chunks, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+def compare_placements(
+    before: CachePlacement, after: CachePlacement
+) -> Dict[str, int]:
+    """Per-file change in cached chunks between two placements.
+
+    Positive values mean the file gained cache space in ``after``.
+    """
+    before_chunks = before.cached_chunks()
+    after_chunks = after.cached_chunks()
+    all_ids = set(before_chunks) | set(after_chunks)
+    return {
+        file_id: after_chunks.get(file_id, 0) - before_chunks.get(file_id, 0)
+        for file_id in sorted(all_ids)
+    }

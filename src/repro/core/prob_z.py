@@ -1,0 +1,114 @@
+"""Solver for the ``Prob Z`` sub-problem of Algorithm 1.
+
+For fixed scheduling probabilities ``pi_{i,j}`` the objective of Eq. (6)
+separates over files, and the only remaining variables are the per-file
+auxiliary scalars ``z_i >= 0``.  Each one-dimensional problem is convex; the
+paper solves it by projected gradient descent.  We provide both that solver
+and a bisection-on-the-derivative solver (the default, since it is exact for
+this scalar convex problem) so the projected-gradient path stays available
+for validation and ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from repro.core.bound import SolutionState, node_moments
+from repro.core.model import StorageSystemModel
+from repro.queueing.mg1 import QueueMoments
+from repro.queueing.order_stats import (
+    latency_bound_at_z,
+    latency_bound_gradient_z,
+    optimal_z,
+)
+
+
+def solve_prob_z(
+    model: StorageSystemModel,
+    state: SolutionState,
+    moments: Mapping[int, QueueMoments] | None = None,
+    method: str = "bisection",
+    learning_rate: float = 0.5,
+    max_iterations: int = 500,
+    tolerance: float = 1e-9,
+) -> List[float]:
+    """Optimize every ``z_i`` for the scheduling probabilities in ``state``.
+
+    Parameters
+    ----------
+    model:
+        The storage-system model (used only for node moments).
+    state:
+        Candidate solution providing the fixed ``pi_{i,j}``.
+    moments:
+        Pre-computed node moments; recomputed from ``state`` when omitted.
+    method:
+        ``"bisection"`` (exact, default) or ``"gradient"`` (projected
+        gradient descent, as described in the paper).
+    learning_rate, max_iterations, tolerance:
+        Parameters of the projected-gradient solver.
+
+    Returns
+    -------
+    list of float
+        The optimal ``z_i`` for every file, in model file order.
+    """
+    if moments is None:
+        moments = node_moments(model, state)
+    z_values: List[float] = []
+    for file_probs in state.probabilities:
+        relevant = {node_id: moments[node_id] for node_id in file_probs}
+        if method == "bisection":
+            z_values.append(optimal_z(file_probs, relevant))
+        elif method == "gradient":
+            z_values.append(
+                _projected_gradient_z(
+                    file_probs,
+                    relevant,
+                    learning_rate=learning_rate,
+                    max_iterations=max_iterations,
+                    tolerance=tolerance,
+                )
+            )
+        else:
+            raise ValueError(f"unknown Prob Z method {method!r}")
+    return z_values
+
+
+def _projected_gradient_z(
+    probabilities: Dict[int, float],
+    moments: Mapping[int, QueueMoments],
+    learning_rate: float,
+    max_iterations: int,
+    tolerance: float,
+) -> float:
+    """Projected gradient descent on the scalar convex ``z`` problem.
+
+    The iterate is clamped at zero after every step, exactly as described in
+    Section IV-B ("making z as zero if the solution is negative in each
+    iteration").
+    """
+    if not probabilities or all(pi == 0.0 for pi in probabilities.values()):
+        return 0.0
+    z = max(
+        (moment.mean for node_id, moment in moments.items() if probabilities.get(node_id, 0.0) > 0),
+        default=0.0,
+    )
+    previous_value = latency_bound_at_z(z, probabilities, moments)
+    step = learning_rate
+    for _ in range(max_iterations):
+        gradient = latency_bound_gradient_z(z, probabilities, moments)
+        candidate = max(z - step * gradient, 0.0)
+        candidate_value = latency_bound_at_z(candidate, probabilities, moments)
+        if candidate_value > previous_value:
+            # Backtrack: the step overshot the minimum of the convex bowl.
+            step *= 0.5
+            if step < 1e-12:
+                break
+            continue
+        improvement = previous_value - candidate_value
+        z = candidate
+        previous_value = candidate_value
+        if improvement < tolerance and abs(gradient) < 1e-6:
+            break
+    return z

@@ -1,0 +1,33 @@
+"""Erasure-coding substrate: GF(2^8) arithmetic, Reed-Solomon codes, and
+functional cache chunk construction.
+
+This package implements everything the Sprout paper needs from an erasure
+coding layer:
+
+* :mod:`repro.erasure.galois` -- arithmetic in GF(2^8).
+* :mod:`repro.erasure.matrix` -- matrices over GF(2^8) (inverse, rank,
+  sub-matrix invertibility).
+* :mod:`repro.erasure.reed_solomon` -- a systematic (n, k) Reed-Solomon
+  codec with encode / decode-from-any-k / chunk repair.
+* :mod:`repro.erasure.mds` -- verification of the MDS property and code
+  extension utilities.
+* :mod:`repro.erasure.functional` -- construction of functional cache
+  chunks: ``d`` new coded chunks that, together with the ``n`` storage
+  chunks, form an (n + d, k) MDS code.
+"""
+
+from repro.erasure.galois import GF256
+from repro.erasure.matrix import GFMatrix
+from repro.erasure.reed_solomon import ReedSolomonCode
+from repro.erasure.mds import is_mds, verify_recoverability
+from repro.erasure.functional import FunctionalCacheCoder, CachedFile
+
+__all__ = [
+    "GF256",
+    "GFMatrix",
+    "ReedSolomonCode",
+    "is_mds",
+    "verify_recoverability",
+    "FunctionalCacheCoder",
+    "CachedFile",
+]

@@ -1,0 +1,235 @@
+"""Functional cache chunk construction.
+
+This module implements the core coding idea of the Sprout paper: for a file
+stored with an ``(n, k)`` MDS code, construct ``d`` *new* coded chunks to
+place in the cache so that the combined set of ``n + d`` chunks is itself an
+``(n + d, k)`` MDS code.  A read can then be served from the ``d`` cached
+chunks plus *any* ``k - d`` of the ``n`` storage chunks, which is exactly the
+flexibility the latency optimization exploits.
+
+The construction follows Section III of the paper: chunks are drawn from an
+``(n + k, k)`` master code whose first ``n`` rows are the chunks placed on the
+storage nodes and whose remaining ``k`` rows are reserved for the cache.
+Because every ``k`` rows of the master generator are linearly independent,
+any prefix of the reserved rows together with the storage rows forms an MDS
+code, irrespective of ``d <= k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.erasure.mds import code_is_mds
+from repro.erasure.reed_solomon import CodedChunk, ReedSolomonCode
+from repro.exceptions import ErasureCodeError, InsufficientChunksError
+
+
+@dataclass
+class CachedFile:
+    """The cache-resident state of one file under functional caching.
+
+    Attributes
+    ----------
+    file_id:
+        Identifier of the file.
+    d:
+        Number of functional chunks currently in the cache.
+    chunks:
+        The cached functional chunks (extension rows ``n .. n+d-1``).
+    original_size:
+        Size of the original payload in bytes, needed to strip padding on
+        reconstruction.
+    """
+
+    file_id: str
+    d: int
+    chunks: List[CodedChunk] = field(default_factory=list)
+    original_size: Optional[int] = None
+
+    @property
+    def cached_bytes(self) -> int:
+        """Total number of payload bytes held in the cache for this file."""
+        return sum(chunk.size for chunk in self.chunks)
+
+
+class FunctionalCacheCoder:
+    """Builds and serves functional cache chunks for a single file.
+
+    Parameters
+    ----------
+    code:
+        The ``(n, k)`` Reed-Solomon code the file is stored with.  Its
+        ``max_extension`` must be at least the largest ``d`` that will ever
+        be cached (the paper always uses ``max_extension = k``).
+    file_id:
+        Identifier used in the returned :class:`CachedFile` records.
+    """
+
+    def __init__(self, code: ReedSolomonCode, file_id: str = "file"):
+        self._code = code
+        self._file_id = file_id
+
+    @property
+    def code(self) -> ReedSolomonCode:
+        """The underlying storage code."""
+        return self._code
+
+    @property
+    def file_id(self) -> str:
+        """Identifier of the file this coder serves."""
+        return self._file_id
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def storage_chunks(self, payload: bytes) -> List[CodedChunk]:
+        """Encode ``payload`` into the ``n`` chunks kept on storage nodes."""
+        return self._code.encode(payload)
+
+    def build_cache_chunks(self, payload: bytes, d: int) -> CachedFile:
+        """Construct ``d`` functional chunks for the cache.
+
+        The chunks are rows ``n .. n+d-1`` of the master ``(n + k, k)`` code,
+        so together with the storage chunks they form an ``(n + d, k)`` MDS
+        code.
+        """
+        if d < 0 or d > self._code.max_extension:
+            raise ErasureCodeError(
+                f"d must lie in [0, {self._code.max_extension}], got {d}"
+            )
+        chunks = self._code.extension_chunks(payload, d)
+        return CachedFile(
+            file_id=self._file_id,
+            d=d,
+            chunks=chunks,
+            original_size=len(payload),
+        )
+
+    def build_cache_chunks_from_chunks(
+        self, available: Sequence[CodedChunk], d: int, original_size: Optional[int] = None
+    ) -> CachedFile:
+        """Construct cache chunks when only coded chunks (not the payload) exist.
+
+        This mirrors the update path described in Section III: when a file's
+        cache allocation grows in a new time bin, the file is reconstructed
+        on its next access and the new functional chunks are generated from
+        the decoded content.
+        """
+        payload = self._code.decode(available, original_size=original_size)
+        cached = self.build_cache_chunks(payload, d)
+        if original_size is not None:
+            cached.original_size = original_size
+        return cached
+
+    def resize_cache_allocation(
+        self, cached: CachedFile, new_d: int, payload: Optional[bytes] = None
+    ) -> CachedFile:
+        """Shrink or grow a file's cache allocation to ``new_d`` chunks.
+
+        Shrinking simply drops the highest-index chunks (no network traffic,
+        as the paper notes).  Growing requires the payload (or is deferred
+        until the next access, which callers model by passing ``payload``
+        when it becomes available).
+        """
+        if new_d < 0 or new_d > self._code.max_extension:
+            raise ErasureCodeError(
+                f"new_d must lie in [0, {self._code.max_extension}], got {new_d}"
+            )
+        if new_d <= cached.d:
+            return CachedFile(
+                file_id=cached.file_id,
+                d=new_d,
+                chunks=list(cached.chunks[:new_d]),
+                original_size=cached.original_size,
+            )
+        if payload is None:
+            raise ErasureCodeError(
+                "growing a cache allocation requires the file payload "
+                "(functional chunks are generated on the next access)"
+            )
+        return self.build_cache_chunks(payload, new_d)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def required_storage_chunks(self, d: int) -> int:
+        """Number of storage chunks needed to serve a read with ``d`` cached."""
+        if d < 0:
+            raise ErasureCodeError("d must be non-negative")
+        return max(self._code.k - d, 0)
+
+    def reconstruct(
+        self,
+        cached: CachedFile,
+        storage_chunks: Sequence[CodedChunk],
+        original_size: Optional[int] = None,
+    ) -> bytes:
+        """Reconstruct the file from cached chunks plus storage chunks.
+
+        Parameters
+        ----------
+        cached:
+            The cache-resident functional chunks.
+        storage_chunks:
+            Any ``k - d`` (or more) distinct chunks fetched from storage
+            nodes.
+        original_size:
+            Payload size; defaults to the size recorded in ``cached``.
+        """
+        needed = self.required_storage_chunks(cached.d)
+        distinct_storage = {chunk.index: chunk for chunk in storage_chunks}
+        if len(distinct_storage) < needed:
+            raise InsufficientChunksError(
+                f"need at least {needed} distinct storage chunks, "
+                f"got {len(distinct_storage)}"
+            )
+        size = original_size if original_size is not None else cached.original_size
+        combined = list(cached.chunks) + list(distinct_storage.values())
+        return self._code.decode(combined, original_size=size)
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def verify_extended_code_is_mds(self, d: int) -> bool:
+        """Check that the ``(n + d, k)`` extended code is MDS."""
+        return code_is_mds(self._code, extension=d)
+
+
+def exact_cache_chunks(
+    storage_chunks: Sequence[CodedChunk], d: int
+) -> List[CodedChunk]:
+    """Return the ``d`` chunks an *exact* caching policy would cache.
+
+    Exact caching (the strawman Sprout improves upon) copies the first ``d``
+    storage chunks verbatim into the cache; the corresponding storage nodes
+    can then no longer contribute towards the remaining ``k - d`` chunks of a
+    read.  This helper is used by the baselines and by tests comparing the
+    two policies.
+    """
+    if d < 0 or d > len(storage_chunks):
+        raise ErasureCodeError(
+            f"d must lie in [0, {len(storage_chunks)}], got {d}"
+        )
+    return list(storage_chunks[:d])
+
+
+def functional_vs_exact_candidate_nodes(n: int, k: int, d: int) -> Dict[str, int]:
+    """Count candidate storage nodes for a read under both caching policies.
+
+    Under functional caching any ``k - d`` of the ``n`` storage nodes may be
+    used; under exact caching the ``d`` nodes whose chunks were copied are
+    useless, leaving ``n - d`` candidates.  The returned dictionary records
+    both counts -- the scheduling-flexibility advantage the paper's example in
+    Section III illustrates.
+    """
+    if d < 0 or d > k or k > n:
+        raise ErasureCodeError(f"invalid parameters n={n}, k={k}, d={d}")
+    return {
+        "required": k - d,
+        "functional_candidates": n,
+        "exact_candidates": n - d,
+    }

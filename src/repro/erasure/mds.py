@@ -1,0 +1,134 @@
+"""MDS property verification and code extension utilities.
+
+Functional caching rests on a single structural claim: the ``d`` chunks
+placed in the cache, together with the ``n`` chunks on the storage nodes,
+form an ``(n + d, k)`` MDS code, so *any* ``k`` of the ``n + d`` chunks
+recover the file.  This module provides the checks used by the test-suite
+and by :class:`repro.erasure.functional.FunctionalCacheCoder` to validate
+that claim for concrete codes and concrete chunk sets.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.erasure.matrix import GFMatrix
+from repro.erasure.reed_solomon import CodedChunk, ReedSolomonCode
+from repro.exceptions import ErasureCodeError
+
+
+def is_mds(generator: GFMatrix, k: int) -> bool:
+    """Return ``True`` when ``generator`` defines an MDS code of dimension ``k``.
+
+    A generator matrix with ``k`` columns defines an MDS (maximum distance
+    separable) code exactly when every ``k`` x ``k`` sub-matrix built from
+    ``k`` of its rows is invertible.
+    """
+    if generator.cols != k:
+        raise ErasureCodeError(
+            f"generator has {generator.cols} columns, expected k={k}"
+        )
+    if generator.rows < k:
+        return False
+    return generator.every_k_rows_invertible(k)
+
+
+def code_is_mds(code: ReedSolomonCode, extension: int = 0) -> bool:
+    """Check the MDS property for a Reed-Solomon code plus ``extension`` rows.
+
+    Parameters
+    ----------
+    code:
+        The base ``(n, k)`` code.
+    extension:
+        Number of functional-cache rows to include beyond the ``n`` stored
+        chunks; the check then covers the ``(n + extension, k)`` code.
+    """
+    if extension < 0 or extension > code.max_extension:
+        raise ErasureCodeError(
+            f"extension must lie in [0, {code.max_extension}], got {extension}"
+        )
+    rows = list(range(code.n + extension))
+    sub_generator = code.generator.submatrix(rows)
+    return is_mds(sub_generator, code.k)
+
+
+def recoverable_subsets(code: ReedSolomonCode, extension: int = 0) -> Iterable[tuple[int, ...]]:
+    """Iterate over all ``k``-subsets of chunk indices of the extended code."""
+    total = code.n + extension
+    return combinations(range(total), code.k)
+
+
+def verify_recoverability(
+    code: ReedSolomonCode,
+    payload: bytes,
+    chunks: Sequence[CodedChunk],
+    subset_size: int | None = None,
+) -> bool:
+    """Verify that every ``k``-subset of ``chunks`` decodes back to ``payload``.
+
+    This is the operational (data-level) counterpart of :func:`is_mds`: it
+    actually decodes from every combination and compares bytes.
+
+    Parameters
+    ----------
+    code:
+        The code the chunks were produced with.
+    payload:
+        The original file contents.
+    chunks:
+        Candidate chunks (storage chunks and/or cached functional chunks).
+    subset_size:
+        Size of the subsets to test; defaults to ``code.k``.
+    """
+    subset_size = code.k if subset_size is None else subset_size
+    if subset_size < code.k:
+        raise ErasureCodeError(
+            f"subsets of size {subset_size} can never decode a k={code.k} code"
+        )
+    if len(chunks) < subset_size:
+        return False
+    for subset in combinations(chunks, subset_size):
+        decoded = code.decode(subset, original_size=len(payload))
+        if decoded != payload:
+            return False
+    return True
+
+
+def minimum_distance(generator: GFMatrix, k: int) -> int:
+    """Return the minimum Hamming distance of the code defined by ``generator``.
+
+    For an MDS code of length ``n`` and dimension ``k`` the Singleton bound
+    is met with equality: ``d_min = n - k + 1``.  The computation here uses
+    the rank characterisation -- the minimum distance equals ``n - r + 1``
+    where ``r`` is the largest number such that every ``n - r + 1`` rows have
+    full column rank... in practice we simply search for the largest set of
+    rows whose removal keeps the code decodable.
+    """
+    n = generator.rows
+    if generator.cols != k:
+        raise ErasureCodeError(
+            f"generator has {generator.cols} columns, expected k={k}"
+        )
+    # The code can tolerate e erasures iff every (n - e)-subset of rows has
+    # rank k.  d_min = max tolerable erasures + 1.
+    max_erasures = 0
+    for erasures in range(0, n - k + 1):
+        tolerable = True
+        for kept in combinations(range(n), n - erasures):
+            if generator.submatrix(kept).rank() != k:
+                tolerable = False
+                break
+        if tolerable:
+            max_erasures = erasures
+        else:
+            break
+    return max_erasures + 1
+
+
+def singleton_bound(n: int, k: int) -> int:
+    """Return the Singleton bound ``n - k + 1`` on minimum distance."""
+    if k <= 0 or n < k:
+        raise ErasureCodeError(f"invalid code parameters ({n}, {k})")
+    return n - k + 1

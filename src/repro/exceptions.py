@@ -1,0 +1,64 @@
+"""Exception hierarchy for the Sprout reproduction library.
+
+All library-specific errors derive from :class:`SproutError` so that callers
+can catch a single base class when they want to distinguish library failures
+from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class SproutError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ErasureCodeError(SproutError):
+    """Raised for invalid erasure-code parameters or decode failures."""
+
+
+class InsufficientChunksError(ErasureCodeError):
+    """Raised when fewer than ``k`` chunks are available for decoding."""
+
+
+class GaloisFieldError(SproutError):
+    """Raised for invalid Galois-field operations (e.g. division by zero)."""
+
+
+class ModelError(SproutError):
+    """Raised for inconsistent storage-system model specifications."""
+
+
+class StabilityError(ModelError):
+    """Raised when a queueing system is driven beyond its stability region."""
+
+
+class OptimizationError(SproutError):
+    """Raised when an optimization sub-problem cannot be solved."""
+
+
+class InfeasibleError(OptimizationError):
+    """Raised when the cache-placement problem has no feasible point."""
+
+
+class SimulationError(SproutError):
+    """Raised for invalid simulator configurations or runtime faults."""
+
+
+class ClusterError(SproutError):
+    """Raised for invalid cluster-emulation operations."""
+
+
+class PoolNotFoundError(ClusterError):
+    """Raised when an object pool does not exist in the emulated cluster."""
+
+
+class ObjectNotFoundError(ClusterError):
+    """Raised when a requested object is not present in a pool."""
+
+
+class CacheError(SproutError):
+    """Raised for invalid cache operations (capacity overflow, bad keys)."""
+
+
+class WorkloadError(SproutError):
+    """Raised for invalid workload specifications."""

@@ -1,0 +1,33 @@
+"""Experiment harness: one module per table / figure of the paper.
+
+Every experiment module exposes a ``run(...)`` function returning a plain
+data structure (rows / series) that mirrors what the paper reports, plus a
+``format_*`` helper that renders it as text.  ``python -m repro.experiments
+<name>`` (see :mod:`repro.experiments.runner`) regenerates any of them from
+the command line, and the benchmarks in ``benchmarks/`` wrap the same
+functions.
+"""
+
+from repro.experiments import (
+    fig3_convergence,
+    fig4_cache_size,
+    fig5_evolution,
+    fig6_placement,
+    fig7_scheduling,
+    fig9_service_cdf,
+    fig10_object_sizes,
+    fig11_arrival_rates,
+    tables,
+)
+
+__all__ = [
+    "fig3_convergence",
+    "fig4_cache_size",
+    "fig5_evolution",
+    "fig6_placement",
+    "fig7_scheduling",
+    "fig9_service_cdf",
+    "fig10_object_sizes",
+    "fig11_arrival_rates",
+    "tables",
+]

@@ -1,0 +1,159 @@
+"""Command-line runner for the experiment harness.
+
+``python -m repro.experiments <name>`` (or the ``sprout-experiments``
+console script) regenerates any table or figure of the paper.  Each
+experiment accepts a ``--scale`` option: ``fast`` runs a reduced but
+shape-preserving configuration in seconds; ``paper`` runs the full
+configuration of the paper (1000 files, 1800-second benchmarks), which takes
+considerably longer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.experiments import (
+    fig3_convergence,
+    fig4_cache_size,
+    fig5_evolution,
+    fig6_placement,
+    fig7_scheduling,
+    fig9_service_cdf,
+    fig10_object_sizes,
+    fig11_arrival_rates,
+    tables,
+)
+
+
+def _run_fig3(scale: str) -> str:
+    if scale == "paper":
+        result = fig3_convergence.run()
+    else:
+        result = fig3_convergence.run(
+            cache_sizes=(20, 40, 60, 80, 100), num_files=100
+        )
+    return fig3_convergence.format_result(result)
+
+
+def _run_fig4(scale: str) -> str:
+    if scale == "paper":
+        result = fig4_cache_size.run()
+    else:
+        result = fig4_cache_size.run(num_files=100)
+    return fig4_cache_size.format_result(result)
+
+
+def _run_fig5(scale: str) -> str:
+    result = fig5_evolution.run()
+    return fig5_evolution.format_result(result)
+
+
+def _run_fig6(scale: str) -> str:
+    result = fig6_placement.run()
+    return fig6_placement.format_result(result)
+
+
+def _run_fig7(scale: str) -> str:
+    if scale == "paper":
+        result = fig7_scheduling.run()
+    else:
+        result = fig7_scheduling.run(num_objects=200, cache_capacity_chunks=250)
+    return fig7_scheduling.format_result(result)
+
+
+def _run_fig9(scale: str) -> str:
+    samples = 20000 if scale == "paper" else 5000
+    result = fig9_service_cdf.run(samples_per_size=samples)
+    return fig9_service_cdf.format_result(result)
+
+
+def _run_fig10(scale: str) -> str:
+    if scale == "paper":
+        result = fig10_object_sizes.run()
+    else:
+        result = fig10_object_sizes.run(
+            object_sizes_mb=(4, 16, 64),
+            num_objects=200,
+            duration_s=600.0,
+            rate_scale=5.0,
+        )
+    return fig10_object_sizes.format_result(result)
+
+
+def _run_fig11(scale: str) -> str:
+    if scale == "paper":
+        result = fig11_arrival_rates.run()
+    else:
+        result = fig11_arrival_rates.run(
+            aggregate_rates=(0.5, 1.0, 2.0),
+            num_objects=200,
+            duration_s=600.0,
+        )
+    return fig11_arrival_rates.format_result(result)
+
+
+def _run_tables(scale: str) -> str:
+    samples = 20000 if scale == "paper" else 5000
+    result = tables.run(samples=samples)
+    return tables.format_result(result)
+
+
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[str], str]]] = {
+    "fig3": ("Convergence of Algorithm 1 (Fig. 3)", _run_fig3),
+    "fig4": ("Latency vs cache size (Fig. 4)", _run_fig4),
+    "fig5": ("Cache content evolution over time bins (Fig. 5 / Table I)", _run_fig5),
+    "fig6": ("Placement and arrival-rate impact (Fig. 6)", _run_fig6),
+    "fig7": ("Cache vs storage chunk scheduling (Fig. 7)", _run_fig7),
+    "fig9": ("Chunk service-time CDF (Fig. 9 / Table IV)", _run_fig9),
+    "fig10": ("Latency per object size, optimal vs LRU (Fig. 10)", _run_fig10),
+    "fig11": ("Latency vs workload intensity, optimal vs LRU (Fig. 11)", _run_fig11),
+    "tables": ("Tables I, III, IV, V", _run_tables),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="sprout-experiments",
+        description="Regenerate the tables and figures of the Sprout paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which experiment to run ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["fast", "paper"],
+        default="fast",
+        help="'fast' runs a reduced shape-preserving configuration; "
+        "'paper' runs the full-size configuration",
+    )
+    return parser
+
+
+def run_experiment(name: str, scale: str) -> str:
+    """Run one experiment by name and return its formatted report."""
+    description, runner = EXPERIMENTS[name]
+    started = time.time()
+    report = runner(scale)
+    elapsed = time.time() - started
+    header = f"=== {name}: {description} (scale={scale}, {elapsed:.1f}s) ==="
+    return f"{header}\n{report}\n"
+
+
+def main(argv=None) -> int:
+    """Entry point of the ``sprout-experiments`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(run_experiment(name, args.scale))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI
+    sys.exit(main())

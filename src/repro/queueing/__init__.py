@@ -1,0 +1,38 @@
+"""Queueing substrate: service-time distributions, M/G/1 waiting-time
+moments (Pollaczek-Khinchine), and the order-statistics latency bound of
+Lemma 1 in the Sprout paper.
+"""
+
+from repro.queueing.distributions import (
+    DeterministicService,
+    EmpiricalMomentsService,
+    ExponentialService,
+    LogNormalService,
+    ParetoService,
+    ServiceDistribution,
+    ShiftedExponentialService,
+)
+from repro.queueing.mg1 import MG1Queue, queue_moments
+from repro.queueing.order_stats import (
+    latency_upper_bound,
+    optimal_z,
+    weighted_latency_objective,
+)
+from repro.queueing.stability import check_stability, utilization
+
+__all__ = [
+    "ServiceDistribution",
+    "ExponentialService",
+    "DeterministicService",
+    "ShiftedExponentialService",
+    "ParetoService",
+    "LogNormalService",
+    "EmpiricalMomentsService",
+    "MG1Queue",
+    "queue_moments",
+    "latency_upper_bound",
+    "optimal_z",
+    "weighted_latency_objective",
+    "check_stability",
+    "utilization",
+]

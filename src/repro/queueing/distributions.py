@@ -1,0 +1,353 @@
+"""Service-time distributions with the moments the Sprout analysis needs.
+
+Lemma 1 of the paper consumes, for each storage node ``j``, the first three
+moments of the per-chunk service time ``X_j``:
+
+* mean ``E[X_j] = 1 / mu_j``,
+* second moment ``Gamma_j^2 = E[X_j^2]`` (equivalently the variance
+  ``sigma_j^2``),
+* third moment ``hat Gamma_j^3 = E[X_j^3]``.
+
+Every distribution class below exposes those moments analytically *and* can
+draw random samples, so the same object parameterises both the analytical
+bound and the discrete-event simulator.  ``EmpiricalMomentsService`` builds a
+distribution directly from a measured mean / variance pair (Tables IV and V
+of the paper) by fitting a log-normal with matching first two moments.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+
+class ServiceDistribution(abc.ABC):
+    """Abstract base class for per-chunk service-time distributions."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """First moment ``E[X]`` in seconds."""
+
+    @property
+    @abc.abstractmethod
+    def second_moment(self) -> float:
+        """Second moment ``E[X^2]``."""
+
+    @property
+    @abc.abstractmethod
+    def third_moment(self) -> float:
+        """Third moment ``E[X^3]``."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        """Draw one sample (``size is None``) or an array of samples."""
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def rate(self) -> float:
+        """Service rate ``mu = 1 / E[X]``."""
+        return 1.0 / self.mean
+
+    @property
+    def variance(self) -> float:
+        """Variance ``sigma^2 = E[X^2] - E[X]^2``."""
+        return self.second_moment - self.mean**2
+
+    @property
+    def squared_coefficient_of_variation(self) -> float:
+        """``sigma^2 / E[X]^2`` -- 1 for exponential, 0 for deterministic."""
+        return self.variance / self.mean**2
+
+    def validate(self) -> None:
+        """Raise :class:`ModelError` if the moments are inconsistent."""
+        if self.mean <= 0:
+            raise ModelError(f"mean service time must be positive, got {self.mean}")
+        if self.second_moment < self.mean**2:
+            raise ModelError(
+                "second moment smaller than squared mean: "
+                f"E[X^2]={self.second_moment}, E[X]^2={self.mean ** 2}"
+            )
+        if self.third_moment <= 0:
+            raise ModelError("third moment must be positive")
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(mean={self.mean:.6g}, "
+            f"var={self.variance:.6g})"
+        )
+
+
+class ExponentialService(ServiceDistribution):
+    """Exponential service times with rate ``mu`` (mean ``1/mu``)."""
+
+    def __init__(self, rate: float):
+        if rate <= 0:
+            raise ModelError(f"service rate must be positive, got {rate}")
+        self._rate = float(rate)
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    @property
+    def mean(self) -> float:
+        return 1.0 / self._rate
+
+    @property
+    def second_moment(self) -> float:
+        return 2.0 / self._rate**2
+
+    @property
+    def third_moment(self) -> float:
+        return 6.0 / self._rate**3
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        return rng.exponential(scale=1.0 / self._rate, size=size)
+
+
+class DeterministicService(ServiceDistribution):
+    """Constant (deterministic) service times."""
+
+    def __init__(self, value: float):
+        if value <= 0:
+            raise ModelError(f"service time must be positive, got {value}")
+        self._value = float(value)
+
+    @property
+    def mean(self) -> float:
+        return self._value
+
+    @property
+    def second_moment(self) -> float:
+        return self._value**2
+
+    @property
+    def third_moment(self) -> float:
+        return self._value**3
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        if size is None:
+            return self._value
+        return np.full(size, self._value)
+
+
+class ShiftedExponentialService(ServiceDistribution):
+    """Shifted exponential: ``X = shift + Exp(rate)``.
+
+    A common model for storage reads -- a fixed positioning / network cost
+    plus an exponential transfer component.
+    """
+
+    def __init__(self, shift: float, rate: float):
+        if shift < 0:
+            raise ModelError(f"shift must be non-negative, got {shift}")
+        if rate <= 0:
+            raise ModelError(f"rate must be positive, got {rate}")
+        self._shift = float(shift)
+        self._rate = float(rate)
+
+    @property
+    def shift(self) -> float:
+        """Deterministic offset added to every service time."""
+        return self._shift
+
+    @property
+    def exponential_rate(self) -> float:
+        """Rate of the exponential component."""
+        return self._rate
+
+    @property
+    def mean(self) -> float:
+        return self._shift + 1.0 / self._rate
+
+    @property
+    def second_moment(self) -> float:
+        # E[(s + Y)^2] = s^2 + 2 s E[Y] + E[Y^2] with Y ~ Exp(rate)
+        return (
+            self._shift**2
+            + 2.0 * self._shift / self._rate
+            + 2.0 / self._rate**2
+        )
+
+    @property
+    def third_moment(self) -> float:
+        # E[(s + Y)^3] = s^3 + 3 s^2 E[Y] + 3 s E[Y^2] + E[Y^3]
+        return (
+            self._shift**3
+            + 3.0 * self._shift**2 / self._rate
+            + 6.0 * self._shift / self._rate**2
+            + 6.0 / self._rate**3
+        )
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        return self._shift + rng.exponential(scale=1.0 / self._rate, size=size)
+
+
+class ParetoService(ServiceDistribution):
+    """Pareto (heavy-tailed) service times with scale ``x_m`` and shape ``alpha``.
+
+    The first three moments exist only when ``alpha > 3``; the constructor
+    enforces that so the distribution can always feed Lemma 1.
+    """
+
+    def __init__(self, scale: float, shape: float):
+        if scale <= 0:
+            raise ModelError(f"scale must be positive, got {scale}")
+        if shape <= 3:
+            raise ModelError(
+                "Pareto shape must exceed 3 so that the first three moments "
+                f"exist, got {shape}"
+            )
+        self._scale = float(scale)
+        self._shape = float(shape)
+
+    @property
+    def scale(self) -> float:
+        """Minimum value ``x_m`` of the distribution."""
+        return self._scale
+
+    @property
+    def shape(self) -> float:
+        """Tail index ``alpha``."""
+        return self._shape
+
+    def _raw_moment(self, order: int) -> float:
+        return self._shape * self._scale**order / (self._shape - order)
+
+    @property
+    def mean(self) -> float:
+        return self._raw_moment(1)
+
+    @property
+    def second_moment(self) -> float:
+        return self._raw_moment(2)
+
+    @property
+    def third_moment(self) -> float:
+        return self._raw_moment(3)
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        # numpy's pareto gives samples of (X/x_m - 1); rescale and shift.
+        return self._scale * (1.0 + rng.pareto(self._shape, size=size))
+
+
+class LogNormalService(ServiceDistribution):
+    """Log-normal service times parameterised by ``mu`` and ``sigma`` of log X."""
+
+    def __init__(self, log_mean: float, log_sigma: float):
+        if log_sigma < 0:
+            raise ModelError(f"log_sigma must be non-negative, got {log_sigma}")
+        self._log_mean = float(log_mean)
+        self._log_sigma = float(log_sigma)
+
+    @property
+    def log_mean(self) -> float:
+        """Mean of ``log X``."""
+        return self._log_mean
+
+    @property
+    def log_sigma(self) -> float:
+        """Standard deviation of ``log X``."""
+        return self._log_sigma
+
+    def _raw_moment(self, order: int) -> float:
+        return math.exp(
+            order * self._log_mean + 0.5 * order**2 * self._log_sigma**2
+        )
+
+    @property
+    def mean(self) -> float:
+        return self._raw_moment(1)
+
+    @property
+    def second_moment(self) -> float:
+        return self._raw_moment(2)
+
+    @property
+    def third_moment(self) -> float:
+        return self._raw_moment(3)
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        return rng.lognormal(mean=self._log_mean, sigma=self._log_sigma, size=size)
+
+    @classmethod
+    def from_mean_variance(cls, mean: float, variance: float) -> "LogNormalService":
+        """Fit a log-normal matching a measured ``mean`` and ``variance``.
+
+        This is how the empirical chunk-service-time measurements of
+        Table IV / Table V are converted into a samplable distribution.
+        """
+        if mean <= 0:
+            raise ModelError(f"mean must be positive, got {mean}")
+        if variance < 0:
+            raise ModelError(f"variance must be non-negative, got {variance}")
+        if variance == 0:
+            return cls(log_mean=math.log(mean), log_sigma=0.0)
+        sigma_squared = math.log(1.0 + variance / mean**2)
+        log_mean = math.log(mean) - 0.5 * sigma_squared
+        return cls(log_mean=log_mean, log_sigma=math.sqrt(sigma_squared))
+
+
+class EmpiricalMomentsService(ServiceDistribution):
+    """A distribution defined by measured moments, sampled via a fitted model.
+
+    The analytical bound uses the measured mean / variance (and a third
+    moment either measured or derived from the log-normal fit); samples are
+    drawn from the fitted log-normal so that simulation and analysis share
+    the same first two moments.
+    """
+
+    def __init__(
+        self,
+        mean: float,
+        variance: float,
+        third_moment: Optional[float] = None,
+    ):
+        self._fitted = LogNormalService.from_mean_variance(mean, variance)
+        self._mean = float(mean)
+        self._variance = float(variance)
+        if third_moment is None:
+            third_moment = self._fitted.third_moment
+        self._third_moment = float(third_moment)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def second_moment(self) -> float:
+        return self._variance + self._mean**2
+
+    @property
+    def third_moment(self) -> float:
+        return self._third_moment
+
+    @property
+    def fitted(self) -> LogNormalService:
+        """The log-normal used for sampling."""
+        return self._fitted
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        return self._fitted.sample(rng, size=size)
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "EmpiricalMomentsService":
+        """Build a distribution from raw measurements (e.g. testbed traces)."""
+        data = np.asarray(list(samples), dtype=float)
+        if data.size == 0:
+            raise ModelError("cannot build a distribution from zero samples")
+        if np.any(data <= 0):
+            raise ModelError("service-time samples must be positive")
+        mean = float(np.mean(data))
+        variance = float(np.var(data))
+        third = float(np.mean(data**3))
+        return cls(mean=mean, variance=variance, third_moment=third)

@@ -1,0 +1,166 @@
+"""M/G/1 waiting-time moments via the Pollaczek-Khinchine transform.
+
+Under probabilistic scheduling each storage node sees a Poisson stream of
+chunk requests (a superposition of thinned per-file Poisson processes) and
+serves them FIFO from a single queue -- an M/G/1 queue.  Equations (3) and
+(4) of the Sprout paper give the mean and variance of the *sojourn time*
+(queueing delay plus service) at node ``j``:
+
+    E[Q_j]   = 1/mu_j + Lambda_j * Gamma_j^2 / (2 (1 - rho_j))
+    Var[Q_j] = sigma_j^2 + Lambda_j * hatGamma_j^3 / (3 (1 - rho_j))
+               + Lambda_j^2 * Gamma_j^4 / (4 (1 - rho_j)^2)
+
+with ``rho_j = Lambda_j / mu_j``.  This module evaluates those expressions
+(and their derivatives with respect to ``Lambda_j``, needed by the gradient
+solvers in :mod:`repro.core`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import StabilityError
+from repro.queueing.distributions import ServiceDistribution
+
+
+@dataclass(frozen=True)
+class QueueMoments:
+    """Mean and variance of the sojourn time at one storage node."""
+
+    mean: float
+    variance: float
+    utilization: float
+
+    @property
+    def second_moment(self) -> float:
+        """Second moment ``E[Q^2] = Var[Q] + E[Q]^2``."""
+        return self.variance + self.mean**2
+
+
+def queue_moments(
+    arrival_rate: float,
+    service: ServiceDistribution,
+    strict: bool = True,
+) -> QueueMoments:
+    """Evaluate Eqs. (3)-(4) for one node.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Aggregate chunk-request arrival rate ``Lambda_j`` at the node.
+    service:
+        The node's chunk service-time distribution (supplies ``mu_j``,
+        ``Gamma_j^2``, ``hatGamma_j^3`` and ``sigma_j^2``).
+    strict:
+        When ``True`` (default) an unstable load ``rho >= 1`` raises
+        :class:`StabilityError`; when ``False`` the utilisation is clamped
+        just below 1 so optimization line-searches can evaluate slightly
+        infeasible points without crashing.
+
+    Returns
+    -------
+    QueueMoments
+        Mean, variance and utilisation of the sojourn time.
+    """
+    if arrival_rate < 0:
+        raise StabilityError(f"arrival rate must be non-negative, got {arrival_rate}")
+    mu = service.rate
+    gamma2 = service.second_moment
+    gamma3 = service.third_moment
+    sigma2 = service.variance
+    rho = arrival_rate / mu
+    if rho >= 1.0:
+        if strict:
+            raise StabilityError(
+                f"node utilisation rho={rho:.4f} >= 1; the M/G/1 queue is unstable"
+            )
+        rho = min(rho, 1.0 - 1e-9)
+        arrival_rate = rho * mu
+    one_minus_rho = 1.0 - rho
+    mean = 1.0 / mu + arrival_rate * gamma2 / (2.0 * one_minus_rho)
+    variance = (
+        sigma2
+        + arrival_rate * gamma3 / (3.0 * one_minus_rho)
+        + arrival_rate**2 * gamma2**2 / (4.0 * one_minus_rho**2)
+    )
+    return QueueMoments(mean=mean, variance=variance, utilization=rho)
+
+
+def queue_moment_derivatives(
+    arrival_rate: float,
+    service: ServiceDistribution,
+) -> tuple[float, float]:
+    """Return ``(dE[Q]/dLambda, dVar[Q]/dLambda)`` at the given arrival rate.
+
+    These derivatives feed the gradient of the latency bound with respect to
+    the scheduling probabilities (each ``pi_{i,j}`` contributes ``lambda_i``
+    to ``Lambda_j``).
+    """
+    mu = service.rate
+    gamma2 = service.second_moment
+    gamma3 = service.third_moment
+    rho = arrival_rate / mu
+    if rho >= 1.0:
+        rho = 1.0 - 1e-9
+        arrival_rate = rho * mu
+    one_minus_rho = 1.0 - rho
+    # d/dLambda [ Lambda / (1 - Lambda/mu) ] = 1/(1-rho)^2
+    dmean = gamma2 / (2.0 * one_minus_rho**2)
+    dvar = (
+        gamma3 / (3.0 * one_minus_rho**2)
+        + arrival_rate * gamma2**2 / (2.0 * one_minus_rho**2)
+        + arrival_rate**2 * gamma2**2 / (2.0 * mu * one_minus_rho**3)
+    )
+    return dmean, dvar
+
+
+class MG1Queue:
+    """Convenience wrapper pairing a service distribution with an arrival rate."""
+
+    def __init__(self, service: ServiceDistribution, arrival_rate: float = 0.0):
+        self._service = service
+        self._arrival_rate = float(arrival_rate)
+
+    @property
+    def service(self) -> ServiceDistribution:
+        """The node's service-time distribution."""
+        return self._service
+
+    @property
+    def arrival_rate(self) -> float:
+        """Current aggregate arrival rate ``Lambda_j``."""
+        return self._arrival_rate
+
+    @arrival_rate.setter
+    def arrival_rate(self, value: float) -> None:
+        if value < 0:
+            raise StabilityError(f"arrival rate must be non-negative, got {value}")
+        self._arrival_rate = float(value)
+
+    @property
+    def utilization(self) -> float:
+        """Utilisation ``rho = Lambda / mu``."""
+        return self._arrival_rate / self._service.rate
+
+    @property
+    def is_stable(self) -> bool:
+        """Whether the queue is stable (``rho < 1``)."""
+        return self.utilization < 1.0
+
+    def moments(self, strict: bool = True) -> QueueMoments:
+        """Sojourn-time moments at the current arrival rate."""
+        return queue_moments(self._arrival_rate, self._service, strict=strict)
+
+    def mean_waiting_time(self, strict: bool = True) -> float:
+        """Mean sojourn time ``E[Q]``."""
+        return self.moments(strict=strict).mean
+
+    def waiting_time_variance(self, strict: bool = True) -> float:
+        """Sojourn-time variance ``Var[Q]``."""
+        return self.moments(strict=strict).variance
+
+    def __repr__(self) -> str:
+        return (
+            f"MG1Queue(service={self._service!r}, "
+            f"arrival_rate={self._arrival_rate:.6g}, rho={self.utilization:.4f})"
+        )

@@ -1,0 +1,80 @@
+"""Stability checks for the per-node M/G/1 queues.
+
+The probabilistic-scheduling analysis is only valid while every local queue
+is stable, i.e. the aggregate chunk arrival rate at each node stays below the
+node's service rate.  These helpers centralise that check for the optimizer,
+the simulator, and the cluster emulation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.exceptions import StabilityError
+from repro.queueing.distributions import ServiceDistribution
+
+
+def utilization(arrival_rate: float, service: ServiceDistribution) -> float:
+    """Return the utilisation ``rho = Lambda / mu`` of a node."""
+    if arrival_rate < 0:
+        raise StabilityError(f"arrival rate must be non-negative, got {arrival_rate}")
+    return arrival_rate / service.rate
+
+
+def check_stability(
+    arrival_rates: Sequence[float] | Mapping[int, float],
+    services: Sequence[ServiceDistribution] | Mapping[int, ServiceDistribution],
+    margin: float = 0.0,
+) -> dict[int, float]:
+    """Verify ``rho_j < 1 - margin`` for every node.
+
+    Parameters
+    ----------
+    arrival_rates:
+        Per-node aggregate arrival rates, either as a sequence indexed by
+        node position or a mapping from node id to rate.
+    services:
+        Per-node service distributions aligned with ``arrival_rates``.
+    margin:
+        Required headroom; nodes must satisfy ``rho < 1 - margin``.
+
+    Returns
+    -------
+    dict
+        Mapping from node index to utilisation.
+
+    Raises
+    ------
+    StabilityError
+        If any node violates the stability condition.
+    """
+    if isinstance(arrival_rates, Mapping):
+        rate_items = sorted(arrival_rates.items())
+    else:
+        rate_items = list(enumerate(arrival_rates))
+    if isinstance(services, Mapping):
+        service_lookup = dict(services)
+    else:
+        service_lookup = dict(enumerate(services))
+
+    utilizations: dict[int, float] = {}
+    violations: list[str] = []
+    for node_id, rate in rate_items:
+        if node_id not in service_lookup:
+            raise StabilityError(f"no service distribution for node {node_id}")
+        rho = utilization(rate, service_lookup[node_id])
+        utilizations[node_id] = rho
+        if rho >= 1.0 - margin:
+            violations.append(f"node {node_id}: rho={rho:.4f}")
+    if violations:
+        raise StabilityError(
+            "unstable (or insufficient-margin) nodes: " + ", ".join(violations)
+        )
+    return utilizations
+
+
+def max_supportable_rate(service: ServiceDistribution, margin: float = 0.0) -> float:
+    """Largest aggregate arrival rate a node supports with the given margin."""
+    if not 0.0 <= margin < 1.0:
+        raise StabilityError(f"margin must lie in [0, 1), got {margin}")
+    return service.rate * (1.0 - margin)

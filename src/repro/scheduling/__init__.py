@@ -1,0 +1,18 @@
+"""Probabilistic request scheduling.
+
+Implements the probabilistic scheduling policy of Xiang et al. that the
+Sprout analysis builds on: each file-``i`` request is dispatched to a set
+``A_i`` of ``k_i - d_i`` distinct storage nodes drawn so that node ``j`` is
+included with probability ``pi_{i,j}``.
+"""
+
+from repro.scheduling.sampling import sample_node_set, systematic_inclusion_sample
+from repro.scheduling.scheduler import ChunkRequest, FileRequest, ProbabilisticScheduler
+
+__all__ = [
+    "sample_node_set",
+    "systematic_inclusion_sample",
+    "ProbabilisticScheduler",
+    "FileRequest",
+    "ChunkRequest",
+]

@@ -1,0 +1,138 @@
+"""Sampling node sets with prescribed inclusion probabilities.
+
+Probabilistic scheduling requires drawing, for every file-``i`` request, a
+set ``A_i`` of exactly ``k_i - d_i`` distinct storage nodes such that node
+``j`` appears in the set with marginal probability ``pi_{i,j}``.  Such a
+distribution over sets exists whenever ``sum_j pi_{i,j} = k_i - d_i`` and
+``0 <= pi_{i,j} <= 1`` (this is the feasibility argument used in the paper's
+Appendix B).  *Systematic sampling* realises those marginals exactly: lay
+the probabilities end-to-end on a circle of circumference ``k - d`` and pick
+the items hit by a uniformly-offset grid of unit spacing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+
+def systematic_inclusion_sample(
+    keys: Sequence[int],
+    probabilities: Sequence[float],
+    rng: np.random.Generator,
+) -> List[int]:
+    """Draw a set with the given inclusion probabilities by systematic sampling.
+
+    Parameters
+    ----------
+    keys:
+        Identifiers (e.g. node ids) to sample from.
+    probabilities:
+        Inclusion probability for each key, in ``[0, 1]``; their sum must be
+        (numerically) an integer -- the size of the returned set.
+    rng:
+        Numpy random generator.
+
+    Returns
+    -------
+    list of int
+        A set of ``round(sum(probabilities))`` distinct keys; key ``j`` is
+        included with probability ``probabilities[j]``.
+    """
+    if len(keys) != len(probabilities):
+        raise SimulationError("keys and probabilities must have equal length")
+    probs = np.asarray(probabilities, dtype=float)
+    if np.any(probs < -1e-9) or np.any(probs > 1.0 + 1e-9):
+        raise SimulationError("inclusion probabilities must lie in [0, 1]")
+    probs = np.clip(probs, 0.0, 1.0)
+    total = float(probs.sum())
+    size = int(round(total))
+    if size == 0:
+        return []
+    if abs(total - size) > 1e-6:
+        raise SimulationError(
+            f"inclusion probabilities must sum to an integer, got {total:.6f}"
+        )
+    # Random ordering removes the correlation structure systematic sampling
+    # would otherwise impose between adjacent keys.
+    order = rng.permutation(len(probs))
+    shuffled = probs[order]
+    cumulative = np.concatenate([[0.0], np.cumsum(shuffled)])
+    # Rescale so the cumulative total is exactly `size` despite rounding.
+    cumulative *= size / cumulative[-1]
+    offset = rng.uniform(0.0, 1.0)
+    grid = offset + np.arange(size)
+    selected_positions = np.searchsorted(cumulative, grid, side="right") - 1
+    selected_positions = np.unique(np.clip(selected_positions, 0, len(probs) - 1))
+    selected = [keys[order[position]] for position in selected_positions]
+    if len(selected) != size:
+        # Extremely rare numerical tie; complete the set with the highest
+        # remaining probabilities to preserve the set size.
+        remaining = [key for key in keys if key not in selected]
+        remaining.sort(
+            key=lambda key: probabilities[list(keys).index(key)], reverse=True
+        )
+        for key in remaining:
+            if len(selected) == size:
+                break
+            selected.append(key)
+    return selected
+
+
+def sample_node_set(
+    probabilities: Dict[int, float],
+    rng: np.random.Generator,
+) -> List[int]:
+    """Draw the storage-node set ``A_i`` for one request.
+
+    ``probabilities`` maps node id to ``pi_{i,j}``; the returned set has
+    ``round(sum pi)`` distinct nodes.
+    """
+    keys = list(probabilities.keys())
+    values = [probabilities[key] for key in keys]
+    return systematic_inclusion_sample(keys, values, rng)
+
+
+def empirical_inclusion_frequencies(
+    probabilities: Dict[int, float],
+    rng: np.random.Generator,
+    draws: int = 10000,
+) -> Dict[int, float]:
+    """Monte-Carlo estimate of the realised inclusion frequencies.
+
+    Used by the test-suite to verify that :func:`sample_node_set` matches the
+    requested marginals.
+    """
+    counts = {key: 0 for key in probabilities}
+    for _ in range(draws):
+        for key in sample_node_set(probabilities, rng):
+            counts[key] += 1
+    return {key: counts[key] / draws for key in probabilities}
+
+
+def split_request(
+    k: int, cached_chunks: int, probabilities: Dict[int, float], rng: np.random.Generator
+) -> Tuple[int, List[int]]:
+    """Split a file request into cache hits and storage-node chunk requests.
+
+    Returns
+    -------
+    tuple
+        ``(chunks_from_cache, storage_nodes)`` where ``storage_nodes`` has
+        ``k - cached_chunks`` distinct entries sampled from ``probabilities``.
+    """
+    if cached_chunks < 0 or cached_chunks > k:
+        raise SimulationError(
+            f"cached chunks {cached_chunks} outside [0, {k}]"
+        )
+    nodes = sample_node_set(probabilities, rng)
+    expected = k - cached_chunks
+    if len(nodes) != expected:
+        raise SimulationError(
+            f"scheduling probabilities produced {len(nodes)} nodes, "
+            f"expected {expected}"
+        )
+    return cached_chunks, nodes

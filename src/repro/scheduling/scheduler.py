@@ -1,0 +1,180 @@
+"""Probabilistic scheduler turning file requests into chunk requests.
+
+The scheduler consumes a :class:`~repro.core.placement.CachePlacement` (or a
+raw per-file probability table) and, for each incoming file request, decides
+which chunks are served from the cache and which storage nodes receive chunk
+requests, following the probabilistic scheduling policy of the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.placement import CachePlacement
+from repro.exceptions import SimulationError
+from repro.scheduling.sampling import sample_node_set
+
+
+@dataclass
+class ChunkRequest:
+    """A single chunk request dispatched to a storage node or the cache."""
+
+    request_id: int
+    file_id: str
+    target: str
+    node_id: Optional[int] = None
+    from_cache: bool = False
+
+
+@dataclass
+class FileRequest:
+    """A file request split into its chunk requests."""
+
+    request_id: int
+    file_id: str
+    arrival_time: float
+    cache_chunks: int
+    storage_nodes: List[int]
+    chunk_requests: List[ChunkRequest] = field(default_factory=list)
+
+    @property
+    def total_chunks(self) -> int:
+        """Total number of chunk requests (cache plus storage)."""
+        return self.cache_chunks + len(self.storage_nodes)
+
+
+class ProbabilisticScheduler:
+    """Dispatches file requests according to cache placement and ``pi_{i,j}``.
+
+    Parameters
+    ----------
+    cached_chunks:
+        Mapping from file id to the number of functional chunks in cache.
+    probabilities:
+        Mapping from file id to its per-node scheduling probabilities; for
+        each file the probabilities must sum to ``k_i - d_i``.
+    k_values:
+        Mapping from file id to ``k_i``.
+    seed:
+        Seed for the sampling generator.
+    """
+
+    def __init__(
+        self,
+        cached_chunks: Dict[str, int],
+        probabilities: Dict[str, Dict[int, float]],
+        k_values: Dict[str, int],
+        seed: Optional[int] = None,
+    ):
+        self._cached_chunks = dict(cached_chunks)
+        self._probabilities = {
+            file_id: dict(node_probs) for file_id, node_probs in probabilities.items()
+        }
+        self._k_values = dict(k_values)
+        self._rng = np.random.default_rng(seed)
+        self._request_counter = itertools.count()
+        self._validate()
+
+    @classmethod
+    def from_placement(
+        cls, placement: CachePlacement, seed: Optional[int] = None
+    ) -> "ProbabilisticScheduler":
+        """Build a scheduler directly from an optimized cache placement."""
+        cached = placement.cached_chunks()
+        probabilities = placement.scheduling_probabilities()
+        k_values = {entry.file_id: entry.k for entry in placement.files}
+        return cls(cached, probabilities, k_values, seed=seed)
+
+    def _validate(self) -> None:
+        for file_id, k in self._k_values.items():
+            d = self._cached_chunks.get(file_id, 0)
+            if not 0 <= d <= k:
+                raise SimulationError(
+                    f"file {file_id}: cached chunks {d} outside [0, {k}]"
+                )
+            probs = self._probabilities.get(file_id, {})
+            total = sum(probs.values())
+            if abs(total - (k - d)) > 1e-3:
+                raise SimulationError(
+                    f"file {file_id}: scheduling probabilities sum to {total:.4f}, "
+                    f"expected k - d = {k - d}"
+                )
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def cached_chunks(self, file_id: str) -> int:
+        """Number of functional chunks of ``file_id`` currently in the cache."""
+        return self._cached_chunks.get(file_id, 0)
+
+    def dispatch(self, file_id: str, arrival_time: float) -> FileRequest:
+        """Split a file request into cache accesses and storage chunk requests."""
+        if file_id not in self._k_values:
+            raise SimulationError(f"unknown file id {file_id!r}")
+        k = self._k_values[file_id]
+        d = self._cached_chunks.get(file_id, 0)
+        probabilities = self._probabilities.get(file_id, {})
+        storage_nodes = sample_node_set(probabilities, self._rng) if k - d > 0 else []
+        if len(storage_nodes) != k - d:
+            raise SimulationError(
+                f"file {file_id}: sampled {len(storage_nodes)} storage nodes, "
+                f"expected {k - d}"
+            )
+        request_id = next(self._request_counter)
+        request = FileRequest(
+            request_id=request_id,
+            file_id=file_id,
+            arrival_time=arrival_time,
+            cache_chunks=d,
+            storage_nodes=storage_nodes,
+        )
+        for _ in range(d):
+            request.chunk_requests.append(
+                ChunkRequest(
+                    request_id=request_id,
+                    file_id=file_id,
+                    target="cache",
+                    from_cache=True,
+                )
+            )
+        for node_id in storage_nodes:
+            request.chunk_requests.append(
+                ChunkRequest(
+                    request_id=request_id,
+                    file_id=file_id,
+                    target=f"node-{node_id}",
+                    node_id=node_id,
+                )
+            )
+        return request
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def expected_node_load(self, arrival_rates: Dict[str, float]) -> Dict[int, float]:
+        """Expected chunk arrival rate at every node, ``Lambda_j``."""
+        load: Dict[int, float] = {}
+        for file_id, probs in self._probabilities.items():
+            rate = arrival_rates.get(file_id, 0.0)
+            for node_id, pi in probs.items():
+                load[node_id] = load.get(node_id, 0.0) + rate * pi
+        return load
+
+    def expected_cache_fraction(self, arrival_rates: Dict[str, float]) -> float:
+        """Expected fraction of chunk requests served by the cache."""
+        cache_rate = 0.0
+        total_rate = 0.0
+        for file_id, k in self._k_values.items():
+            rate = arrival_rates.get(file_id, 0.0)
+            d = self._cached_chunks.get(file_id, 0)
+            cache_rate += rate * d
+            total_rate += rate * k
+        if total_rate <= 0:
+            return 0.0
+        return cache_rate / total_rate

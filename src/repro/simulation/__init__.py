@@ -1,0 +1,32 @@
+"""Discrete-event simulation of the erasure-coded storage system with cache.
+
+The simulator validates the analytical latency bound and regenerates the
+simulation figures of the paper: it models FIFO storage-node queues with
+arbitrary service-time distributions, a cache device, Poisson file request
+arrivals, probabilistic chunk scheduling and fork-join completion.
+"""
+
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.node import CacheDevice, StorageNodeQueue
+from repro.simulation.metrics import LatencyMetrics, SlotCounter
+from repro.simulation.arrivals import (
+    NonHomogeneousPoissonArrivals,
+    PoissonArrivalProcess,
+    merge_arrival_streams,
+)
+from repro.simulation.simulator import SimulationConfig, SimulationResult, StorageSimulator
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "StorageNodeQueue",
+    "CacheDevice",
+    "LatencyMetrics",
+    "SlotCounter",
+    "PoissonArrivalProcess",
+    "NonHomogeneousPoissonArrivals",
+    "merge_arrival_streams",
+    "StorageSimulator",
+    "SimulationConfig",
+    "SimulationResult",
+]

@@ -1,0 +1,121 @@
+"""Arrival-process generators for the simulator.
+
+File requests arrive according to (possibly non-homogeneous) Poisson
+processes, one per file.  The generators here pre-draw arrival timelines so
+the simulator can merge them into a single chronological stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+
+
+@dataclass
+class PoissonArrivalProcess:
+    """Homogeneous Poisson arrivals for a single file."""
+
+    file_id: str
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise WorkloadError(
+                f"arrival rate for {self.file_id!r} must be non-negative"
+            )
+
+    def generate(self, horizon: float, rng: np.random.Generator) -> List[float]:
+        """Draw all arrival times in ``[0, horizon)``."""
+        if horizon <= 0:
+            raise WorkloadError("horizon must be positive")
+        if self.rate == 0.0:
+            return []
+        times: List[float] = []
+        current = 0.0
+        while True:
+            current += rng.exponential(1.0 / self.rate)
+            if current >= horizon:
+                break
+            times.append(current)
+        return times
+
+
+@dataclass
+class NonHomogeneousPoissonArrivals:
+    """Piecewise-constant-rate Poisson arrivals for a single file.
+
+    The rate function is given as a list of ``(start_time, rate)`` break
+    points; each rate applies from its start time until the next one.  This
+    models the paper's time-bin structure where the rate of a file changes
+    between bins.
+    """
+
+    file_id: str
+    breakpoints: Sequence[Tuple[float, float]]
+
+    def __post_init__(self) -> None:
+        if not self.breakpoints:
+            raise WorkloadError("at least one (time, rate) breakpoint is required")
+        previous = -float("inf")
+        for start, rate in self.breakpoints:
+            if start <= previous:
+                raise WorkloadError("breakpoints must have strictly increasing times")
+            if rate < 0:
+                raise WorkloadError("rates must be non-negative")
+            previous = start
+
+    def rate_at(self, time: float) -> float:
+        """The instantaneous rate at ``time``."""
+        current = 0.0
+        for start, rate in self.breakpoints:
+            if time >= start:
+                current = rate
+            else:
+                break
+        return current
+
+    def generate(self, horizon: float, rng: np.random.Generator) -> List[float]:
+        """Draw arrivals in ``[0, horizon)`` by simulating each constant piece."""
+        if horizon <= 0:
+            raise WorkloadError("horizon must be positive")
+        times: List[float] = []
+        points = list(self.breakpoints) + [(horizon, 0.0)]
+        for (start, rate), (next_start, _) in zip(points[:-1], points[1:]):
+            segment_end = min(next_start, horizon)
+            if rate == 0.0 or start >= horizon:
+                continue
+            current = start
+            while True:
+                current += rng.exponential(1.0 / rate)
+                if current >= segment_end:
+                    break
+                times.append(current)
+        return times
+
+
+def merge_arrival_streams(
+    streams: Dict[str, List[float]]
+) -> List[Tuple[float, str]]:
+    """Merge per-file arrival times into one chronological ``(time, file)`` list."""
+    merged: List[Tuple[float, str]] = []
+    for file_id, times in streams.items():
+        merged.extend((time, file_id) for time in times)
+    merged.sort(key=lambda item: item[0])
+    return merged
+
+
+def generate_request_stream(
+    arrival_rates: Dict[str, float],
+    horizon: float,
+    rng: np.random.Generator,
+) -> List[Tuple[float, str]]:
+    """Generate a merged request stream for homogeneous per-file rates."""
+    streams = {
+        file_id: PoissonArrivalProcess(file_id, rate).generate(horizon, rng)
+        for file_id, rate in arrival_rates.items()
+    }
+    return merge_arrival_streams(streams)

@@ -1,0 +1,119 @@
+"""Minimal discrete-event engine: a time-ordered event queue.
+
+The simulator only needs a priority queue of timestamped events with
+deterministic tie-breaking (insertion order), which this module provides.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.exceptions import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled event.
+
+    Events compare by ``(time, sequence)`` so that simultaneous events fire
+    in insertion order, which keeps runs reproducible.
+    """
+
+    time: float
+    sequence: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+    callback: Optional[Callable[["Event"], None]] = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A simple binary-heap event queue with a monotonically advancing clock."""
+
+    def __init__(self):
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (time of the last popped event)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def is_empty(self) -> bool:
+        """Whether no events remain."""
+        return not self._heap
+
+    def schedule(
+        self,
+        time: float,
+        kind: str,
+        payload: Any = None,
+        callback: Optional[Callable[[Event], None]] = None,
+    ) -> Event:
+        """Insert an event at absolute ``time``.
+
+        Raises
+        ------
+        SimulationError
+            If the event is scheduled in the past.
+        """
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        event = Event(
+            time=float(time),
+            sequence=next(self._counter),
+            kind=kind,
+            payload=payload,
+            callback=callback,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(
+        self,
+        delay: float,
+        kind: str,
+        payload: Any = None,
+        callback: Optional[Callable[[Event], None]] = None,
+    ) -> Event:
+        """Insert an event ``delay`` time units after the current time."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self._now + delay, kind, payload, callback)
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event, advancing the clock."""
+        if not self._heap:
+            raise SimulationError("cannot pop from an empty event queue")
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next event, or ``None`` if the queue is empty."""
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def run_until(self, end_time: float) -> int:
+        """Pop and dispatch events (via their callbacks) until ``end_time``.
+
+        Returns the number of events processed.  Events without callbacks
+        are simply discarded.
+        """
+        processed = 0
+        while self._heap and self._heap[0].time <= end_time:
+            event = self.pop()
+            if event.callback is not None:
+                event.callback(event)
+            processed += 1
+        self._now = max(self._now, end_time)
+        return processed

@@ -1,0 +1,167 @@
+"""Latency and throughput metrics collected by the simulator."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+
+@dataclass
+class LatencyMetrics:
+    """Accumulates per-request latency samples, optionally per file."""
+
+    per_file: Dict[str, List[float]] = field(default_factory=dict)
+
+    def record(self, file_id: str, latency: float) -> None:
+        """Add one completed request's latency."""
+        if latency < 0:
+            raise SimulationError(f"latency must be non-negative, got {latency}")
+        self.per_file.setdefault(file_id, []).append(float(latency))
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def total_requests(self) -> int:
+        """Number of recorded requests across all files."""
+        return sum(len(samples) for samples in self.per_file.values())
+
+    def all_latencies(self) -> np.ndarray:
+        """All latency samples as a flat array."""
+        if not self.per_file:
+            return np.array([], dtype=float)
+        return np.concatenate([np.asarray(v, dtype=float) for v in self.per_file.values()])
+
+    def mean_latency(self) -> float:
+        """Mean latency over all requests."""
+        samples = self.all_latencies()
+        if samples.size == 0:
+            raise SimulationError("no latency samples recorded")
+        return float(samples.mean())
+
+    def file_mean_latency(self, file_id: str) -> float:
+        """Mean latency of one file's requests."""
+        samples = self.per_file.get(file_id)
+        if not samples:
+            raise SimulationError(f"no latency samples for file {file_id!r}")
+        return float(np.mean(samples))
+
+    def weighted_mean_latency(self, weights: Optional[Dict[str, float]] = None) -> float:
+        """Mean latency weighted per file (defaults to request-count weighting)."""
+        if weights is None:
+            return self.mean_latency()
+        numerator = 0.0
+        denominator = 0.0
+        for file_id, weight in weights.items():
+            samples = self.per_file.get(file_id)
+            if not samples:
+                continue
+            numerator += weight * float(np.mean(samples))
+            denominator += weight
+        if denominator <= 0:
+            raise SimulationError("weights cover no recorded files")
+        return numerator / denominator
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) of all latencies."""
+        samples = self.all_latencies()
+        if samples.size == 0:
+            raise SimulationError("no latency samples recorded")
+        return float(np.percentile(samples, q))
+
+    def standard_error(self) -> float:
+        """Standard error of the overall mean latency."""
+        samples = self.all_latencies()
+        if samples.size < 2:
+            return float("inf")
+        return float(samples.std(ddof=1) / math.sqrt(samples.size))
+
+    def summary(self) -> Dict[str, float]:
+        """Dictionary summary with mean, median, p95, p99 and count."""
+        samples = self.all_latencies()
+        if samples.size == 0:
+            raise SimulationError("no latency samples recorded")
+        return {
+            "count": float(samples.size),
+            "mean": float(samples.mean()),
+            "median": float(np.percentile(samples, 50)),
+            "p95": float(np.percentile(samples, 95)),
+            "p99": float(np.percentile(samples, 99)),
+            "max": float(samples.max()),
+        }
+
+
+@dataclass
+class SlotCounter:
+    """Counts chunk requests served by the cache vs storage per time slot.
+
+    Used to regenerate Fig. 7: a time bin is divided into equal slots and the
+    number of chunks fetched from the cache and from the storage nodes is
+    reported per slot.
+    """
+
+    slot_length: float
+    num_slots: int
+    cache_counts: np.ndarray = field(init=False)
+    storage_counts: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.slot_length <= 0 or self.num_slots <= 0:
+            raise SimulationError("slot_length and num_slots must be positive")
+        self.cache_counts = np.zeros(self.num_slots, dtype=int)
+        self.storage_counts = np.zeros(self.num_slots, dtype=int)
+
+    def _slot_for(self, time: float) -> Optional[int]:
+        slot = int(time // self.slot_length)
+        if 0 <= slot < self.num_slots:
+            return slot
+        return None
+
+    def record_cache_chunks(self, time: float, count: int) -> None:
+        """Record ``count`` chunks served from the cache at ``time``."""
+        slot = self._slot_for(time)
+        if slot is not None:
+            self.cache_counts[slot] += count
+
+    def record_storage_chunks(self, time: float, count: int) -> None:
+        """Record ``count`` chunks served from storage nodes at ``time``."""
+        slot = self._slot_for(time)
+        if slot is not None:
+            self.storage_counts[slot] += count
+
+    @property
+    def total_cache_chunks(self) -> int:
+        """Chunks served from the cache over the whole horizon."""
+        return int(self.cache_counts.sum())
+
+    @property
+    def total_storage_chunks(self) -> int:
+        """Chunks served from storage over the whole horizon."""
+        return int(self.storage_counts.sum())
+
+    def cache_fraction(self) -> float:
+        """Overall fraction of chunks served from the cache."""
+        total = self.total_cache_chunks + self.total_storage_chunks
+        if total == 0:
+            return 0.0
+        return self.total_cache_chunks / total
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """One dictionary per slot (for tabular experiment output)."""
+        rows = []
+        for slot in range(self.num_slots):
+            rows.append(
+                {
+                    "slot": slot,
+                    "start_time": slot * self.slot_length,
+                    "cache_chunks": int(self.cache_counts[slot]),
+                    "storage_chunks": int(self.storage_counts[slot]),
+                }
+            )
+        return rows

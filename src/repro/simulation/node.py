@@ -1,0 +1,182 @@
+"""Storage-node and cache-device models for the discrete-event simulator.
+
+A storage node is a single-server FIFO queue with an arbitrary service-time
+distribution (Section III of the paper: "Each storage node buffers requests
+in a common queue of infinite capacity and process them in a FIFO manner").
+The cache device serves chunk reads with either zero delay (the analytical
+model's assumption) or a configurable fast-device distribution (the SSD
+latencies of Table V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.queueing.distributions import ServiceDistribution
+
+
+@dataclass
+class ChunkServiceRecord:
+    """Bookkeeping for one chunk request handled by a node or the cache."""
+
+    file_id: str
+    request_id: int
+    arrival_time: float
+    start_time: float
+    completion_time: float
+
+    @property
+    def waiting_time(self) -> float:
+        """Time spent waiting in the queue before service began."""
+        return self.start_time - self.arrival_time
+
+    @property
+    def sojourn_time(self) -> float:
+        """Total time from arrival to completion (queueing plus service)."""
+        return self.completion_time - self.arrival_time
+
+
+class StorageNodeQueue:
+    """A single-server FIFO queue representing one storage node / OSD.
+
+    The queue is *work-conserving*: because service is FIFO and the node has
+    a single server, the completion time of a newly arriving chunk request
+    equals ``max(now, last_completion) + service_sample``.  This lets the
+    simulator schedule completions directly without explicit busy/idle
+    events, which keeps large runs fast while producing exactly the same
+    sample paths as an explicit server model.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        service: ServiceDistribution,
+        rng: Optional[np.random.Generator] = None,
+        keep_records: bool = False,
+    ):
+        self.node_id = node_id
+        self._service = service
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._last_completion = 0.0
+        self._busy_until = 0.0
+        self._chunks_served = 0
+        self._total_busy_time = 0.0
+        self._keep_records = keep_records
+        self._records: List[ChunkServiceRecord] = []
+
+    @property
+    def service(self) -> ServiceDistribution:
+        """The node's chunk service-time distribution."""
+        return self._service
+
+    @property
+    def chunks_served(self) -> int:
+        """Number of chunk requests handled so far."""
+        return self._chunks_served
+
+    @property
+    def records(self) -> List[ChunkServiceRecord]:
+        """Per-chunk records (only populated when ``keep_records=True``)."""
+        return list(self._records)
+
+    def busy_fraction(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` the node spent serving chunks."""
+        if horizon <= 0:
+            raise SimulationError("horizon must be positive")
+        return min(self._total_busy_time / horizon, 1.0)
+
+    def enqueue_chunk(
+        self, arrival_time: float, file_id: str, request_id: int
+    ) -> float:
+        """Accept a chunk request at ``arrival_time`` and return its completion time."""
+        if arrival_time < 0:
+            raise SimulationError("arrival time must be non-negative")
+        start_time = max(arrival_time, self._busy_until)
+        service_time = float(self._service.sample(self._rng))
+        completion = start_time + service_time
+        self._busy_until = completion
+        self._last_completion = completion
+        self._chunks_served += 1
+        self._total_busy_time += service_time
+        if self._keep_records:
+            self._records.append(
+                ChunkServiceRecord(
+                    file_id=file_id,
+                    request_id=request_id,
+                    arrival_time=arrival_time,
+                    start_time=start_time,
+                    completion_time=completion,
+                )
+            )
+        return completion
+
+    def queue_length_proxy(self, now: float) -> float:
+        """Remaining backlog (in time units) at time ``now``."""
+        return max(self._busy_until - now, 0.0)
+
+    def reset(self) -> None:
+        """Clear all queue state (used between simulation runs)."""
+        self._last_completion = 0.0
+        self._busy_until = 0.0
+        self._chunks_served = 0
+        self._total_busy_time = 0.0
+        self._records.clear()
+
+
+class CacheDevice:
+    """The compute-server cache serving functional chunks.
+
+    Parameters
+    ----------
+    service:
+        Optional service-time distribution of the cache device (e.g. the SSD
+        read latencies of Table V).  When ``None`` cache reads complete
+        instantaneously, matching the analytical model in which cached
+        chunks do not contribute to latency.
+    concurrency:
+        Number of chunk reads the device can serve in parallel.  SSDs serve
+        many requests concurrently, so the default models the cache as an
+        infinite-server device; setting ``concurrency=1`` turns it into a
+        FIFO queue like a storage node.
+    """
+
+    def __init__(
+        self,
+        service: Optional[ServiceDistribution] = None,
+        rng: Optional[np.random.Generator] = None,
+        concurrency: Optional[int] = None,
+    ):
+        self._service = service
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._concurrency = concurrency
+        self._busy_until: List[float] = [0.0] * (concurrency or 0)
+        self._chunks_served = 0
+
+    @property
+    def chunks_served(self) -> int:
+        """Number of chunk reads served from the cache."""
+        return self._chunks_served
+
+    def read_chunk(self, arrival_time: float) -> float:
+        """Serve one cached chunk read and return its completion time."""
+        self._chunks_served += 1
+        if self._service is None:
+            return arrival_time
+        service_time = float(self._service.sample(self._rng))
+        if self._concurrency is None:
+            return arrival_time + service_time
+        # Finite concurrency: pick the earliest-free slot.
+        slot = int(np.argmin(self._busy_until))
+        start = max(arrival_time, self._busy_until[slot])
+        completion = start + service_time
+        self._busy_until[slot] = completion
+        return completion
+
+    def reset(self) -> None:
+        """Clear device state."""
+        self._busy_until = [0.0] * (self._concurrency or 0)
+        self._chunks_served = 0

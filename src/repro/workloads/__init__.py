@@ -1,0 +1,33 @@
+"""Workload definitions: the paper's default simulation setup, the Table-I
+time-bin rates, the Table-III 24-hour object-size workload, a COSBench-style
+benchmark driver and a sliding-window arrival-rate estimator.
+"""
+
+from repro.workloads.defaults import (
+    DEFAULT_ARRIVAL_RATE_PATTERN,
+    DEFAULT_SERVICE_RATES,
+    paper_default_model,
+    ten_file_model,
+)
+from repro.workloads.traces import (
+    TABLE_I_ARRIVAL_RATES,
+    TABLE_III_WORKLOAD,
+    table_i_time_bins,
+    table_iii_arrival_rates,
+)
+from repro.workloads.rates import SlidingWindowRateEstimator
+from repro.workloads.generator import CosbenchWorkload, WorkloadStage
+
+__all__ = [
+    "DEFAULT_ARRIVAL_RATE_PATTERN",
+    "DEFAULT_SERVICE_RATES",
+    "paper_default_model",
+    "ten_file_model",
+    "TABLE_I_ARRIVAL_RATES",
+    "TABLE_III_WORKLOAD",
+    "table_i_time_bins",
+    "table_iii_arrival_rates",
+    "SlidingWindowRateEstimator",
+    "CosbenchWorkload",
+    "WorkloadStage",
+]

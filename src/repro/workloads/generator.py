@@ -1,0 +1,161 @@
+"""COSBench-style workload generator.
+
+The paper benchmarks its Ceph testbed with COSBench workloads consisting of
+an initial/prepare stage (100% writes, no clean-up) followed by timed read
+stages at the Table-III arrival rates.  This module mirrors that structure
+for the emulated cluster: a :class:`CosbenchWorkload` is a list of
+:class:`WorkloadStage` objects, and :func:`CosbenchWorkload.run` executes it
+against a :class:`~repro.cluster.cluster.CephLikeCluster`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.cluster import CephLikeCluster, ReadResult
+from repro.exceptions import WorkloadError
+
+
+@dataclass
+class WorkloadStage:
+    """One stage of a COSBench workload.
+
+    Attributes
+    ----------
+    name:
+        Stage label (``"prepare"``, ``"main"``...).
+    operation:
+        ``"write"`` or ``"read"``.
+    duration_s:
+        Stage duration in seconds (ignored for write stages, which simply
+        populate every object once, mirroring COSBench prepare stages).
+    arrival_rates:
+        Per-object read arrival rates (read stages only).
+    """
+
+    name: str
+    operation: str
+    duration_s: float = 0.0
+    arrival_rates: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.operation not in {"read", "write"}:
+            raise WorkloadError(f"unknown operation {self.operation!r}")
+        if self.operation == "read":
+            if self.duration_s <= 0:
+                raise WorkloadError("read stages need a positive duration")
+            if not self.arrival_rates:
+                raise WorkloadError("read stages need arrival rates")
+
+
+@dataclass
+class StageResult:
+    """Result of one executed stage."""
+
+    stage: WorkloadStage
+    read_result: Optional[ReadResult] = None
+    objects_written: int = 0
+
+
+class CosbenchWorkload:
+    """A multi-stage benchmark workload against the emulated cluster.
+
+    Parameters
+    ----------
+    stages:
+        The stages to execute in order.
+    mode:
+        ``"optimal"`` (equivalent-code pools) or ``"baseline"`` (LRU cache
+        tier); must match how the cluster was set up.
+    """
+
+    def __init__(self, stages: List[WorkloadStage], mode: str):
+        if mode not in {"optimal", "baseline"}:
+            raise WorkloadError(f"unknown mode {mode!r}")
+        if not stages:
+            raise WorkloadError("a workload needs at least one stage")
+        self._stages = list(stages)
+        self._mode = mode
+
+    @property
+    def stages(self) -> List[WorkloadStage]:
+        """The workload stages."""
+        return list(self._stages)
+
+    @property
+    def mode(self) -> str:
+        """Which cluster configuration the workload targets."""
+        return self._mode
+
+    def run(
+        self,
+        cluster: CephLikeCluster,
+        object_pool_map: Optional[Dict[str, int]] = None,
+        seed: Optional[int] = None,
+    ) -> List[StageResult]:
+        """Execute all stages against ``cluster``.
+
+        Parameters
+        ----------
+        cluster:
+            The emulated cluster.
+        object_pool_map:
+            Required in ``"optimal"`` mode: the object -> cache-allocation
+            map produced by the optimization.
+        """
+        results: List[StageResult] = []
+        prepared = False
+        for stage in self._stages:
+            if stage.operation == "write":
+                if self._mode == "optimal":
+                    if object_pool_map is None:
+                        raise WorkloadError(
+                            "optimal mode requires an object_pool_map for the write stage"
+                        )
+                    cluster.setup_optimal_caching(object_pool_map)
+                    written = len(object_pool_map)
+                else:
+                    object_names = sorted(
+                        {
+                            name
+                            for read_stage in self._stages
+                            if read_stage.operation == "read"
+                            for name in read_stage.arrival_rates
+                        }
+                    )
+                    cluster.setup_lru_baseline(object_names)
+                    written = len(object_names)
+                prepared = True
+                results.append(StageResult(stage=stage, objects_written=written))
+            else:
+                if not prepared:
+                    raise WorkloadError(
+                        "a write/prepare stage must run before any read stage"
+                    )
+                read_result = cluster.run_read_benchmark(
+                    arrival_rates=stage.arrival_rates,
+                    duration_s=stage.duration_s,
+                    mode=self._mode,
+                    seed=seed,
+                )
+                results.append(StageResult(stage=stage, read_result=read_result))
+        return results
+
+
+def standard_read_workload(
+    arrival_rates: Dict[str, float],
+    duration_s: float,
+    mode: str,
+) -> CosbenchWorkload:
+    """The paper's standard two-stage workload: prepare (write) then read."""
+    stages = [
+        WorkloadStage(name="prepare", operation="write"),
+        WorkloadStage(
+            name="main",
+            operation="read",
+            duration_s=duration_s,
+            arrival_rates=dict(arrival_rates),
+        ),
+    ]
+    return CosbenchWorkload(stages, mode=mode)

@@ -1,0 +1,159 @@
+"""Sliding-window arrival-rate estimation and time-bin detection.
+
+The paper assumes a rate monitoring oracle that detects when per-file
+arrival rates change enough to warrant a new time bin (Section III and the
+future-work note in Section VI).  This module implements the simple
+sliding-window estimator the paper describes: request arrivals are counted
+in a moving window, per-file rates are the windowed averages, and a new time
+bin is triggered when any file's estimated rate moves by more than a
+threshold relative to the rate used for the current bin.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.exceptions import WorkloadError
+
+
+@dataclass
+class RateChangeEvent:
+    """A detected rate change that opens a new time bin."""
+
+    time: float
+    file_id: str
+    previous_rate: float
+    new_rate: float
+
+
+class SlidingWindowRateEstimator:
+    """Estimates per-file arrival rates over a sliding time window.
+
+    Parameters
+    ----------
+    window:
+        Window length in seconds.  Small windows react quickly but are noisy;
+        large windows low-pass filter the estimate (the trade-off the paper
+        discusses in Section III).
+    change_threshold:
+        Relative change in a file's estimated rate (compared with the rate
+        frozen at the start of the current time bin) that triggers a new
+        time bin.
+    min_observations:
+        Minimum number of arrivals of a file inside the window before its
+        estimate is considered trustworthy.
+    """
+
+    def __init__(
+        self,
+        window: float,
+        change_threshold: float = 0.5,
+        min_observations: int = 5,
+    ):
+        if window <= 0:
+            raise WorkloadError("window must be positive")
+        if change_threshold <= 0:
+            raise WorkloadError("change_threshold must be positive")
+        if min_observations < 1:
+            raise WorkloadError("min_observations must be at least 1")
+        self._window = float(window)
+        self._change_threshold = float(change_threshold)
+        self._min_observations = int(min_observations)
+        self._arrivals: Dict[str, Deque[float]] = {}
+        self._bin_rates: Dict[str, float] = {}
+        self._events: List[RateChangeEvent] = []
+        self._current_bin = 1
+
+    @property
+    def window(self) -> float:
+        """Window length in seconds."""
+        return self._window
+
+    @property
+    def current_bin(self) -> int:
+        """Index of the current time bin (starts at 1)."""
+        return self._current_bin
+
+    @property
+    def change_events(self) -> List[RateChangeEvent]:
+        """All detected rate-change events."""
+        return list(self._events)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def record_arrival(self, file_id: str, time: float) -> Optional[RateChangeEvent]:
+        """Record one request arrival; returns a change event if one fires."""
+        if time < 0:
+            raise WorkloadError("arrival time must be non-negative")
+        queue = self._arrivals.setdefault(file_id, deque())
+        if queue and time < queue[-1]:
+            raise WorkloadError("arrivals must be recorded in non-decreasing time order")
+        queue.append(time)
+        self._expire(file_id, time)
+        return self._maybe_trigger(file_id, time)
+
+    def _expire(self, file_id: str, now: float) -> None:
+        queue = self._arrivals[file_id]
+        cutoff = now - self._window
+        while queue and queue[0] < cutoff:
+            queue.popleft()
+
+    def estimated_rate(self, file_id: str, now: Optional[float] = None) -> float:
+        """Current windowed rate estimate of ``file_id`` (arrivals / window)."""
+        queue = self._arrivals.get(file_id)
+        if not queue:
+            return 0.0
+        if now is not None:
+            self._expire(file_id, now)
+            queue = self._arrivals[file_id]
+        return len(queue) / self._window
+
+    def estimated_rates(self, now: Optional[float] = None) -> Dict[str, float]:
+        """Windowed rate estimates of all observed files."""
+        return {
+            file_id: self.estimated_rate(file_id, now) for file_id in self._arrivals
+        }
+
+    # ------------------------------------------------------------------
+    # Time-bin logic
+    # ------------------------------------------------------------------
+
+    def freeze_bin_rates(self, rates: Dict[str, float]) -> None:
+        """Record the per-file rates used for the current bin's optimization."""
+        self._bin_rates = dict(rates)
+
+    def _maybe_trigger(self, file_id: str, now: float) -> Optional[RateChangeEvent]:
+        queue = self._arrivals[file_id]
+        if len(queue) < self._min_observations:
+            return None
+        estimate = len(queue) / self._window
+        reference = self._bin_rates.get(file_id)
+        if reference is None or reference == 0.0:
+            # No reference yet: adopt the estimate silently.
+            self._bin_rates[file_id] = estimate
+            return None
+        relative_change = abs(estimate - reference) / reference
+        if relative_change <= self._change_threshold:
+            return None
+        event = RateChangeEvent(
+            time=now, file_id=file_id, previous_rate=reference, new_rate=estimate
+        )
+        self._events.append(event)
+        self._bin_rates[file_id] = estimate
+        self._current_bin += 1
+        return event
+
+    def replay(
+        self, arrivals: List[Tuple[float, str]]
+    ) -> List[RateChangeEvent]:
+        """Feed a chronological ``(time, file_id)`` stream; return fired events."""
+        fired = []
+        for time, file_id in arrivals:
+            event = self.record_arrival(file_id, time)
+            if event is not None:
+                fired.append(event)
+        return fired

@@ -1,0 +1,187 @@
+"""Tests for the LRU, exact-caching and static baseline policies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import (
+    ExactCachingPolicy,
+    exact_caching_placement,
+    popularity_allocation,
+)
+from repro.baselines.lru import LRUCache, LRUChunkCachingPolicy
+from repro.baselines.static import (
+    exact_vs_functional_bounds,
+    no_cache_placement,
+    popularity_whole_file_placement,
+    proportional_placement,
+)
+from repro.exceptions import CacheError, ModelError
+
+
+class TestLRUCache:
+    def test_hit_miss_and_eviction_order(self):
+        cache = LRUCache(capacity=3)
+        assert not cache.access("a")
+        assert not cache.access("b")
+        assert not cache.access("c")
+        assert cache.access("a")          # a becomes most recently used
+        assert not cache.access("d")      # evicts b (the LRU entry)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache and "d" in cache
+        assert cache.stats.evictions == 1
+        assert cache.stats.hit_ratio == pytest.approx(1 / 5)
+
+    def test_sized_entries(self):
+        cache = LRUCache(capacity=10)
+        cache.insert("big", size=6)
+        cache.insert("medium", size=4)
+        cache.insert("small", size=2)     # evicts "big"
+        assert "big" not in cache
+        assert cache.used == 6
+
+    def test_oversized_entry_not_cached(self):
+        cache = LRUCache(capacity=4)
+        cache.insert("huge", size=10)
+        assert "huge" not in cache
+        assert cache.used == 0
+
+    def test_peek_does_not_touch_recency(self):
+        cache = LRUCache(capacity=2)
+        cache.insert("a")
+        cache.insert("b")
+        cache.peek("a")
+        cache.insert("c")  # evicts "a" because peek did not refresh it
+        assert "a" not in cache
+
+    def test_explicit_evict_and_clear(self):
+        cache = LRUCache(capacity=2)
+        cache.insert("a")
+        assert cache.evict("a")
+        assert not cache.evict("a")
+        cache.insert("b")
+        cache.clear()
+        assert len(cache) == 0 and cache.used == 0
+
+    def test_validation(self):
+        with pytest.raises(CacheError):
+            LRUCache(capacity=-1)
+        with pytest.raises(CacheError):
+            LRUCache(capacity=2).access("a", size=0)
+
+    @given(
+        operations=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=9), st.integers(1, 3)),
+            min_size=1,
+            max_size=200,
+        ),
+        capacity=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_capacity_never_exceeded(self, operations, capacity):
+        cache = LRUCache(capacity=capacity)
+        for key, size in operations:
+            cache.access(key, size=size)
+            assert cache.used <= capacity
+            assert cache.used == sum(
+                size_ for size_ in cache._entries.values()  # noqa: SLF001
+            )
+
+
+class TestLRUChunkCachingPolicy:
+    def test_whole_object_granularity(self):
+        policy = LRUChunkCachingPolicy(
+            capacity_chunks=8, chunks_per_file={"a": 4, "b": 4, "c": 4}
+        )
+        hit, cached = policy.on_request("a")
+        assert not hit and cached == 0
+        hit, cached = policy.on_request("a")
+        assert hit and cached == 4
+        policy.on_request("b")
+        policy.on_request("c")  # evicts "a"
+        assert policy.cached_chunks("a") == 0
+        assert set(policy.cached_files()) == {"b", "c"}
+
+    def test_warm_and_unknown_file(self):
+        policy = LRUChunkCachingPolicy(capacity_chunks=8, chunks_per_file={"a": 4})
+        policy.warm(["a"])
+        assert policy.cached_chunks("a") == 4
+        with pytest.raises(CacheError):
+            policy.on_request("unknown")
+
+    def test_replication_inflates_footprint(self):
+        policy = LRUChunkCachingPolicy(
+            capacity_chunks=8, chunks_per_file={"a": 4, "b": 4}, replication=2
+        )
+        policy.on_request("a")
+        policy.on_request("b")  # 8 chunks each with replication -> "a" evicted
+        assert policy.cached_chunks("a") == 0
+
+
+class TestExactCaching:
+    def test_popularity_allocation_fills_cache(self, small_model):
+        allocation = popularity_allocation(small_model)
+        assert sum(allocation.values()) == small_model.cache_capacity
+        # The hottest file gets at least as much as the coldest.
+        assert allocation["file-0"] >= allocation["file-5"]
+
+    def test_exact_policy_excludes_cached_nodes(self, small_model):
+        policy = ExactCachingPolicy(small_model, {"file-0": 2})
+        usable = policy.usable_nodes("file-0")
+        spec = small_model.file("file-0")
+        assert len(usable) == spec.n - 2
+        assert set(usable) <= set(spec.placement)
+
+    def test_exact_policy_validation(self, small_model):
+        with pytest.raises(ModelError):
+            ExactCachingPolicy(small_model, {"file-0": 9})
+        with pytest.raises(ModelError):
+            ExactCachingPolicy(
+                small_model, {spec.file_id: spec.k for spec in small_model.files}
+            )
+
+    def test_exact_placement_structure(self, small_model):
+        placement = exact_caching_placement(small_model)
+        placement.validate_against(small_model)
+        assert placement.total_cached_chunks == small_model.cache_capacity
+
+    def test_functional_never_worse_than_exact(self, small_model):
+        # Same per-file allocation; functional caching keeps every node
+        # usable, so its per-file bound can never exceed exact caching's.
+        allocation = popularity_allocation(small_model)
+        comparison = exact_vs_functional_bounds(small_model, allocation)
+        for file_id, bounds in comparison.items():
+            assert bounds["functional"] <= bounds["exact"] + 1e-9, file_id
+
+
+class TestStaticPlacements:
+    def test_no_cache_placement(self, small_model):
+        placement = no_cache_placement(small_model)
+        assert placement.total_cached_chunks == 0
+        placement.validate_against(small_model)
+
+    def test_whole_file_placement_caches_hottest(self, small_model):
+        placement = popularity_whole_file_placement(small_model)
+        cached = placement.cached_chunks()
+        # file-0 is the hottest and k = 3 <= capacity 5, so it is fully cached.
+        assert cached["file-0"] == 3
+        assert placement.total_cached_chunks <= small_model.cache_capacity
+
+    def test_proportional_placement_uses_full_cache(self, small_model):
+        placement = proportional_placement(small_model)
+        assert placement.total_cached_chunks == small_model.cache_capacity
+        placement.validate_against(small_model)
+
+    def test_optimized_beats_all_baselines(self, small_model):
+        from repro.core.algorithm import CacheOptimizer
+
+        optimized = CacheOptimizer(small_model, tolerance=0.001).optimize().placement
+        for baseline in (
+            no_cache_placement(small_model),
+            popularity_whole_file_placement(small_model),
+            proportional_placement(small_model),
+            exact_caching_placement(small_model),
+        ):
+            assert optimized.objective <= baseline.objective + 1e-6

@@ -1,0 +1,308 @@
+"""Tests for the Ceph-like cluster emulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.cachetier import CacheTier
+from repro.cluster.cluster import CephLikeCluster, ClusterConfig
+from repro.cluster.crush import CrushMap, placement_group_count
+from repro.cluster.devices import (
+    HDD_SERVICE_TABLE,
+    SSD_CACHE_LATENCY_TABLE,
+    chunk_size_for_object,
+    hdd_service_for_chunk_size,
+    hdd_speed_multipliers,
+    nearest_measured_chunk_size,
+    ssd_service_for_chunk_size,
+)
+from repro.cluster.osd import OSD, ChunkKey
+from repro.cluster.pool import ErasureCodedPool, PoolConfig, equivalent_code_pools
+from repro.exceptions import ClusterError, ObjectNotFoundError
+
+
+class TestDevices:
+    def test_hdd_moments_match_table_iv(self):
+        for chunk_size, row in HDD_SERVICE_TABLE.items():
+            service = hdd_service_for_chunk_size(chunk_size)
+            assert service.mean == pytest.approx(row["mean_ms"])
+            assert service.variance == pytest.approx(row["variance_ms2"])
+
+    def test_ssd_latency_matches_table_v(self):
+        for chunk_size, latency in SSD_CACHE_LATENCY_TABLE.items():
+            assert ssd_service_for_chunk_size(chunk_size).mean == pytest.approx(latency)
+
+    def test_unknown_chunk_size_rejected(self):
+        with pytest.raises(ClusterError):
+            hdd_service_for_chunk_size(7)
+        with pytest.raises(ClusterError):
+            ssd_service_for_chunk_size(7)
+
+    def test_chunk_size_for_object(self):
+        assert chunk_size_for_object(64, k=4) == 16
+        assert chunk_size_for_object(1024, k=4) == 256
+        assert chunk_size_for_object(100, k=4) == 25
+        with pytest.raises(ClusterError):
+            chunk_size_for_object(2, k=4)
+
+    def test_nearest_measured_chunk_size(self):
+        assert nearest_measured_chunk_size(20) == 16
+        assert nearest_measured_chunk_size(200) == 256
+        with pytest.raises(ClusterError):
+            nearest_measured_chunk_size(0)
+
+    def test_speed_multipliers_deterministic_and_bounded(self):
+        first = hdd_speed_multipliers(12, spread=0.3, seed=1)
+        second = hdd_speed_multipliers(12, spread=0.3, seed=1)
+        assert first == second
+        assert all(0.7 <= value <= 1.3 for value in first)
+
+
+class TestCrush:
+    def test_placement_group_count_eq17(self):
+        # The paper quotes 256 PGs for the (7,4) pools on 12 OSDs (m = 3
+        # parity chunks -> 12 * 100 / 3 = 400 ... the paper's 256 comes from
+        # its cache-tier formula usage; verify the formula itself).
+        assert placement_group_count(12, 3) == 400
+        assert placement_group_count(12, 4) == 300
+        # Rounding to a power of two is what Ceph documentation recommends.
+        assert placement_group_count(12, 3, round_to_power_of_two=True) == 512
+
+    def test_placement_group_count_validation(self):
+        with pytest.raises(ClusterError):
+            placement_group_count(0, 2)
+        with pytest.raises(ClusterError):
+            placement_group_count(12, 0)
+
+    def test_object_mapping_is_deterministic(self):
+        crush = CrushMap(range(12), num_placement_groups=64, width=7, seed=3)
+        assert crush.osds_for_object("obj-1") == crush.osds_for_object("obj-1")
+        assert crush.placement_group_for("obj-1") == crush.placement_group_for("obj-1")
+
+    def test_pg_width_and_distinctness(self):
+        crush = CrushMap(range(12), num_placement_groups=64, width=7, seed=3)
+        for pg in range(64):
+            osds = crush.osds_for_placement_group(pg)
+            assert len(osds) == 7
+            assert len(set(osds)) == 7
+
+    def test_pg_distribution_covers_all_osds(self):
+        crush = CrushMap(range(12), num_placement_groups=256, width=7, seed=3)
+        distribution = crush.pg_distribution()
+        assert set(distribution) == set(range(12))
+        assert all(count > 0 for count in distribution.values())
+
+    def test_validation(self):
+        with pytest.raises(ClusterError):
+            CrushMap([0, 0, 1], num_placement_groups=4, width=2)
+        with pytest.raises(ClusterError):
+            CrushMap(range(4), num_placement_groups=4, width=9)
+        with pytest.raises(ClusterError):
+            CrushMap(range(4), num_placement_groups=0, width=2)
+
+
+class TestOsd:
+    def test_store_and_read(self, rng):
+        osd = OSD(0, rng=rng)
+        key = ChunkKey(pool="p", object_name="o", chunk_index=0)
+        osd.store_chunk(key, 16)
+        completion, service_time = osd.read_chunk(key, arrival_time=10.0)
+        assert completion >= 10.0 + 0.0
+        assert service_time > 0
+        assert osd.chunks_read == 1
+        assert osd.stored_mb == 16
+
+    def test_read_missing_chunk_raises(self, rng):
+        osd = OSD(0, rng=rng)
+        with pytest.raises(ClusterError):
+            osd.read_chunk(ChunkKey("p", "o", 0), 0.0)
+
+    def test_fifo_queueing(self, rng):
+        osd = OSD(0, rng=rng)
+        key = ChunkKey("p", "o", 0)
+        osd.store_chunk(key, 64)
+        first, _ = osd.read_chunk(key, 0.0)
+        second, _ = osd.read_chunk(key, 0.0)
+        assert second > first
+
+    def test_speed_multiplier_slows_reads(self):
+        rng_fast = np.random.default_rng(0)
+        rng_slow = np.random.default_rng(0)
+        fast = OSD(0, speed_multiplier=1.0, rng=rng_fast)
+        slow = OSD(1, speed_multiplier=2.0, rng=rng_slow)
+        key = ChunkKey("p", "o", 0)
+        fast.store_chunk(key, 16)
+        slow.store_chunk(key, 16)
+        _, fast_time = fast.read_chunk(key, 0.0)
+        _, slow_time = slow.read_chunk(key, 0.0)
+        assert slow_time == pytest.approx(2.0 * fast_time)
+
+    def test_drop_chunk(self, rng):
+        osd = OSD(0, rng=rng)
+        key = ChunkKey("p", "o", 0)
+        osd.store_chunk(key, 4)
+        assert osd.drop_chunk(key)
+        assert not osd.drop_chunk(key)
+        assert osd.stored_mb == 0
+
+
+class TestPools:
+    def _osds(self, rng):
+        return {osd_id: OSD(osd_id, rng=rng) for osd_id in range(12)}
+
+    def test_write_and_read_object(self, rng):
+        pool = ErasureCodedPool(PoolConfig("p", n=7, k=4, chunk_size_mb=16), self._osds(rng))
+        pool.write_object("obj", size_mb=64)
+        assert pool.has_object("obj")
+        completion, osds_used = pool.read_object("obj", arrival_time=0.0)
+        assert completion > 0.0
+        assert len(osds_used) == 4
+        assert len(set(osds_used)) == 4
+
+    def test_read_missing_object(self, rng):
+        pool = ErasureCodedPool(PoolConfig("p", n=7, k=4, chunk_size_mb=16), self._osds(rng))
+        with pytest.raises(ObjectNotFoundError):
+            pool.read_object("missing", 0.0)
+
+    def test_delete_object(self, rng):
+        osds = self._osds(rng)
+        pool = ErasureCodedPool(PoolConfig("p", n=7, k=4, chunk_size_mb=16), osds)
+        pool.write_object("obj", 64)
+        stored_before = sum(osd.chunks_stored for osd in osds.values())
+        pool.delete_object("obj")
+        stored_after = sum(osd.chunks_stored for osd in osds.values())
+        assert stored_before - stored_after == 7
+        with pytest.raises(ObjectNotFoundError):
+            pool.delete_object("obj")
+
+    def test_zero_k_pool_reads_instantly(self, rng):
+        pool = ErasureCodedPool(PoolConfig("p0", n=7, k=0, chunk_size_mb=16), self._osds(rng))
+        pool.write_object("obj", 64)
+        completion, osds_used = pool.read_object("obj", 5.0)
+        assert completion == 5.0
+        assert osds_used == []
+
+    def test_least_backlog_scheduling_prefers_idle_osds(self, rng):
+        osds = self._osds(rng)
+        pool = ErasureCodedPool(PoolConfig("p", n=7, k=4, chunk_size_mb=16), osds)
+        pool.write_object("obj", 64)
+        # Load the first chunk's OSD heavily.
+        record_osds = pool.crush.osds_for_object("obj")
+        busy = osds[record_osds[0]]
+        key = ChunkKey("p", "obj", 0)
+        for _ in range(20):
+            busy.read_chunk(key, 0.0)
+        _, used = pool.read_object("obj", 0.0, scheduling="least_backlog")
+        assert record_osds[0] not in used
+
+    def test_random_scheduling(self, rng):
+        pool = ErasureCodedPool(PoolConfig("p", n=7, k=4, chunk_size_mb=16), self._osds(rng))
+        pool.write_object("obj", 64)
+        _, used = pool.read_object("obj", 0.0, rng=rng, scheduling="random")
+        assert len(used) == 4
+        with pytest.raises(ClusterError):
+            pool.read_object("obj", 0.0, scheduling="bogus")
+
+    def test_equivalent_code_pools_family(self, rng):
+        pools = equivalent_code_pools(7, 4, 16, self._osds(rng))
+        assert sorted(pools) == [0, 1, 2, 3, 4]
+        assert pools[0].config.k == 4
+        assert pools[4].config.k == 0
+        assert pools[2].name == "ec-7-2"
+
+    def test_pool_config_validation(self):
+        with pytest.raises(ClusterError):
+            PoolConfig("bad", n=3, k=4, chunk_size_mb=16)
+        with pytest.raises(ClusterError):
+            PoolConfig("bad", n=3, k=2, chunk_size_mb=0)
+
+
+class TestCacheTier:
+    def test_hits_after_promotion(self, rng):
+        osds = {osd_id: OSD(osd_id, rng=rng) for osd_id in range(12)}
+        pool = ErasureCodedPool(PoolConfig("base", n=7, k=4, chunk_size_mb=16), osds)
+        tier = CacheTier(pool, capacity_mb=256, rng=rng)
+        tier.write_object("obj", 64)
+        # The write leaves the object resident, so the first read hits.
+        completion, hit = tier.read_object("obj", 0.0)
+        assert hit and completion > 0.0
+        assert tier.stats.hit_ratio == 1.0
+
+    def test_miss_promotes_and_evicts_lru(self, rng):
+        osds = {osd_id: OSD(osd_id, rng=rng) for osd_id in range(12)}
+        pool = ErasureCodedPool(PoolConfig("base", n=7, k=4, chunk_size_mb=16), osds)
+        tier = CacheTier(pool, capacity_mb=128, rng=rng)
+        tier.write_object("a", 64)
+        tier.write_object("b", 64)
+        tier.write_object("c", 64)  # evicts "a"
+        assert not tier.resident("a")
+        _, hit = tier.read_object("a", 0.0)
+        assert not hit
+        assert tier.resident("a")  # promoted on the miss
+        assert tier.stats.promotions == 1
+
+    def test_unknown_object_rejected(self, rng):
+        osds = {osd_id: OSD(osd_id, rng=rng) for osd_id in range(12)}
+        pool = ErasureCodedPool(PoolConfig("base", n=7, k=4, chunk_size_mb=16), osds)
+        tier = CacheTier(pool, capacity_mb=128, rng=rng)
+        with pytest.raises(ClusterError):
+            tier.read_object("ghost", 0.0)
+
+    def test_validation(self, rng):
+        osds = {osd_id: OSD(osd_id, rng=rng) for osd_id in range(12)}
+        pool = ErasureCodedPool(PoolConfig("base", n=7, k=4, chunk_size_mb=16), osds)
+        with pytest.raises(ClusterError):
+            CacheTier(pool, capacity_mb=0)
+        with pytest.raises(ClusterError):
+            CacheTier(pool, capacity_mb=10, replication=0)
+
+
+class TestCephLikeCluster:
+    def test_config_properties(self):
+        config = ClusterConfig(object_size_mb=64, cache_capacity_mb=10 * 1024)
+        assert config.chunk_size_mb == 16
+        assert config.cache_capacity_chunks == 640
+        with pytest.raises(ClusterError):
+            ClusterConfig(num_osds=3)
+
+    def test_optimal_configuration_round_trip(self):
+        config = ClusterConfig(object_size_mb=64, cache_capacity_mb=1024, seed=5)
+        cluster = CephLikeCluster(config)
+        pool_map = {f"obj-{i}": i % 5 for i in range(20)}
+        cluster.setup_optimal_caching(pool_map)
+        for name, allocation in pool_map.items():
+            latency = cluster.read_optimal(name, 0.0)
+            assert latency >= 0.0
+            if allocation == 4:
+                # Fully cached object: latency is the SSD read only.
+                assert latency <= 4 * 31.0
+
+    def test_baseline_configuration_round_trip(self):
+        config = ClusterConfig(object_size_mb=64, cache_capacity_mb=1024, seed=5)
+        cluster = CephLikeCluster(config)
+        names = [f"obj-{i}" for i in range(30)]
+        cluster.setup_lru_baseline(names)
+        completion, hit = cluster.read_baseline("obj-0", 0.0)
+        assert completion >= 0.0
+        assert isinstance(hit, bool)
+
+    def test_read_before_setup_raises(self):
+        cluster = CephLikeCluster(ClusterConfig())
+        with pytest.raises(ClusterError):
+            cluster.read_optimal("x", 0.0)
+        with pytest.raises(ClusterError):
+            cluster.read_baseline("x", 0.0)
+
+    def test_read_benchmark_modes(self):
+        config = ClusterConfig(object_size_mb=64, cache_capacity_mb=2048, seed=5)
+        cluster = CephLikeCluster(config)
+        pool_map = {f"obj-{i}": (1 if i < 10 else 0) for i in range(40)}
+        cluster.setup_optimal_caching(pool_map)
+        rates = {name: 0.02 for name in pool_map}
+        result = cluster.run_read_benchmark(rates, duration_s=200.0, mode="optimal", seed=3)
+        assert result.requests > 0
+        assert result.mean_latency_ms() > 0
+        assert result.chunks_from_cache + result.chunks_from_storage == result.requests * 4
+        with pytest.raises(ClusterError):
+            cluster.run_read_benchmark(rates, 10.0, mode="bogus")

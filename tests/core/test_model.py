@@ -1,0 +1,145 @@
+"""Tests for the storage-system model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import FileSpec, StorageSystemModel, build_random_placement_model
+from repro.exceptions import ModelError
+from repro.queueing.distributions import ExponentialService
+
+
+class TestFileSpec:
+    def test_valid_spec(self):
+        spec = FileSpec("f", n=5, k=3, placement=(0, 1, 2, 3, 4), arrival_rate=0.1)
+        assert spec.redundancy_factor == pytest.approx(5 / 3)
+        assert spec.size_bytes == 3  # defaults to k * chunk_size (chunk_size=1)
+
+    def test_placement_length_must_match_n(self):
+        with pytest.raises(ModelError):
+            FileSpec("f", n=5, k=3, placement=(0, 1, 2), arrival_rate=0.1)
+
+    def test_duplicate_placement_rejected(self):
+        with pytest.raises(ModelError):
+            FileSpec("f", n=3, k=2, placement=(0, 0, 1), arrival_rate=0.1)
+
+    def test_k_greater_than_n_rejected(self):
+        with pytest.raises(ModelError):
+            FileSpec("f", n=2, k=3, placement=(0, 1), arrival_rate=0.1)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ModelError):
+            FileSpec("f", n=3, k=2, placement=(0, 1, 2), arrival_rate=-0.1)
+
+
+class TestStorageSystemModel:
+    def test_basic_accessors(self, small_model):
+        assert small_model.num_nodes == 6
+        assert small_model.num_files == 6
+        assert small_model.cache_capacity == 5
+        assert small_model.node_ids == [0, 1, 2, 3, 4, 5]
+        assert small_model.total_arrival_rate == pytest.approx(0.28)
+        assert small_model.file("file-2").arrival_rate == pytest.approx(0.05)
+        assert small_model.file_index("file-3") == 3
+        assert small_model.max_cache_demand() == 18
+
+    def test_unknown_file_and_node(self, small_model):
+        with pytest.raises(ModelError):
+            small_model.file("nope")
+        with pytest.raises(ModelError):
+            small_model.file_index("nope")
+        with pytest.raises(ModelError):
+            small_model.service(42)
+
+    def test_placement_on_unknown_node_rejected(self):
+        services = [ExponentialService(1.0)]
+        files = [FileSpec("f", n=2, k=1, placement=(0, 7), arrival_rate=0.1)]
+        with pytest.raises(ModelError):
+            StorageSystemModel(services, files, cache_capacity=1)
+
+    def test_duplicate_file_ids_rejected(self):
+        services = [ExponentialService(1.0), ExponentialService(1.0)]
+        files = [
+            FileSpec("f", n=2, k=1, placement=(0, 1), arrival_rate=0.1),
+            FileSpec("f", n=2, k=1, placement=(0, 1), arrival_rate=0.1),
+        ]
+        with pytest.raises(ModelError):
+            StorageSystemModel(services, files, cache_capacity=1)
+
+    def test_requires_at_least_one_file_and_node(self):
+        with pytest.raises(ModelError):
+            StorageSystemModel([], [], cache_capacity=0)
+        with pytest.raises(ModelError):
+            StorageSystemModel([ExponentialService(1.0)], [], cache_capacity=0)
+
+    def test_node_arrival_rates(self, small_model):
+        probabilities = []
+        for spec in small_model.files:
+            probabilities.append({node: spec.k / spec.n for node in spec.placement})
+        rates = small_model.node_arrival_rates(probabilities)
+        assert sum(rates.values()) == pytest.approx(
+            sum(spec.arrival_rate * spec.k for spec in small_model.files)
+        )
+
+    def test_node_arrival_rates_rejects_foreign_nodes(self, small_model):
+        probabilities = [{} for _ in range(small_model.num_files)]
+        probabilities[0] = {5: 0.5}  # node 5 does not hold file-0's chunks
+        with pytest.raises(ModelError):
+            small_model.node_arrival_rates(probabilities)
+
+    def test_copy_with_arrival_rates_mapping(self, small_model):
+        updated = small_model.copy_with_arrival_rates({"file-0": 0.2})
+        assert updated.file("file-0").arrival_rate == pytest.approx(0.2)
+        assert updated.file("file-1").arrival_rate == pytest.approx(0.06)
+        # The original is unchanged.
+        assert small_model.file("file-0").arrival_rate == pytest.approx(0.08)
+
+    def test_copy_with_arrival_rates_sequence(self, small_model):
+        updated = small_model.copy_with_arrival_rates([0.01] * 6)
+        assert updated.total_arrival_rate == pytest.approx(0.06)
+        with pytest.raises(ModelError):
+            small_model.copy_with_arrival_rates([0.01])
+
+    def test_copy_with_cache_capacity(self, small_model):
+        assert small_model.copy_with_cache_capacity(9).cache_capacity == 9
+
+
+class TestRandomModelBuilder:
+    def test_build_random_placement_model(self):
+        model = build_random_placement_model(
+            num_nodes=6,
+            num_files=10,
+            n=4,
+            k=2,
+            arrival_rates=[0.1, 0.2],
+            service_rates=[1.0] * 6,
+            cache_capacity=5,
+            seed=3,
+        )
+        assert model.num_files == 10
+        assert all(len(spec.placement) == 4 for spec in model.files)
+        # Arrival rates cycle through the pattern.
+        assert model.files[0].arrival_rate == pytest.approx(0.1)
+        assert model.files[1].arrival_rate == pytest.approx(0.2)
+        assert model.files[2].arrival_rate == pytest.approx(0.1)
+
+    def test_build_random_placement_model_validation(self):
+        with pytest.raises(ModelError):
+            build_random_placement_model(
+                num_nodes=3, num_files=2, n=4, k=2,
+                arrival_rates=[0.1], service_rates=[1.0] * 3, cache_capacity=1,
+            )
+        with pytest.raises(ModelError):
+            build_random_placement_model(
+                num_nodes=3, num_files=2, n=2, k=2,
+                arrival_rates=[], service_rates=[1.0] * 3, cache_capacity=1,
+            )
+
+    def test_reproducible_with_seed(self):
+        kwargs = dict(
+            num_nodes=8, num_files=5, n=4, k=2,
+            arrival_rates=[0.1], service_rates=[1.0] * 8, cache_capacity=2,
+        )
+        a = build_random_placement_model(seed=11, **kwargs)
+        b = build_random_placement_model(seed=11, **kwargs)
+        assert [s.placement for s in a.files] == [s.placement for s in b.files]

@@ -1,0 +1,75 @@
+"""Tests for the time-bin scheduler and cache-content deltas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.timebins import TimeBin, TimeBinScheduler, bins_from_rate_table
+from repro.exceptions import ModelError
+
+
+class TestTimeBin:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            TimeBin(index=1, duration=0.0, arrival_rates={})
+        with pytest.raises(ModelError):
+            TimeBin(index=1, duration=1.0, arrival_rates={"f": -0.1})
+
+    def test_bins_from_rate_table(self):
+        bins = bins_from_rate_table([{"a": 0.1}, {"a": 0.2}], duration=50.0)
+        assert [b.index for b in bins] == [1, 2]
+        assert bins[1].arrival_rates["a"] == pytest.approx(0.2)
+        assert bins[0].duration == 50.0
+
+
+class TestTimeBinScheduler:
+    def test_three_bin_run(self, small_model):
+        scheduler = TimeBinScheduler(small_model, tolerance=0.01)
+        base = {spec.file_id: spec.arrival_rate for spec in small_model.files}
+        hot_second_bin = dict(base)
+        hot_second_bin["file-5"] = 0.12  # file-5 becomes the hottest
+        bins = [
+            TimeBin(index=1, duration=100.0, arrival_rates=base),
+            TimeBin(index=2, duration=100.0, arrival_rates=hot_second_bin),
+            TimeBin(index=3, duration=100.0, arrival_rates=base),
+        ]
+        outcomes = scheduler.process_bins(bins)
+        assert len(outcomes) == 3
+        assert scheduler.current_placement is outcomes[-1].placement
+        for outcome, time_bin in zip(outcomes, bins):
+            outcome.placement.validate_against(
+                small_model.copy_with_arrival_rates(time_bin.arrival_rates)
+            )
+            assert outcome.placement.time_bin == time_bin.index
+
+    def test_first_bin_delta_counts_all_additions(self, small_model):
+        scheduler = TimeBinScheduler(small_model, tolerance=0.01)
+        base = {spec.file_id: spec.arrival_rate for spec in small_model.files}
+        outcome = scheduler.process_bin(
+            TimeBin(index=1, duration=100.0, arrival_rates=base)
+        )
+        assert outcome.delta.chunks_pending == outcome.placement.total_cached_chunks
+        assert outcome.delta.chunks_removed == 0
+
+    def test_deltas_are_consistent_with_placements(self, small_model):
+        scheduler = TimeBinScheduler(small_model, tolerance=0.01)
+        base = {spec.file_id: spec.arrival_rate for spec in small_model.files}
+        shifted = dict(base)
+        shifted["file-0"] = 0.001
+        shifted["file-5"] = 0.15
+        first = scheduler.process_bin(TimeBin(index=1, duration=10.0, arrival_rates=base))
+        second = scheduler.process_bin(TimeBin(index=2, duration=10.0, arrival_rates=shifted))
+        before = first.placement.cached_chunks()
+        after = second.placement.cached_chunks()
+        for file_id, removed in second.delta.removed.items():
+            assert before[file_id] - after[file_id] == removed
+        for file_id, added in second.delta.added_on_access.items():
+            assert after[file_id] - before[file_id] == added
+
+    def test_history_is_copied(self, small_model):
+        scheduler = TimeBinScheduler(small_model, tolerance=0.01)
+        base = {spec.file_id: spec.arrival_rate for spec in small_model.files}
+        scheduler.process_bin(TimeBin(index=1, duration=10.0, arrival_rates=base))
+        history = scheduler.history
+        history.clear()
+        assert len(scheduler.history) == 1

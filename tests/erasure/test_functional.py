@@ -1,0 +1,182 @@
+"""Tests for MDS verification and functional cache chunk construction."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure.functional import (
+    CachedFile,
+    FunctionalCacheCoder,
+    exact_cache_chunks,
+    functional_vs_exact_candidate_nodes,
+)
+from repro.erasure.matrix import GFMatrix
+from repro.erasure.mds import (
+    code_is_mds,
+    is_mds,
+    minimum_distance,
+    singleton_bound,
+    verify_recoverability,
+)
+from repro.erasure.reed_solomon import ReedSolomonCode
+from repro.exceptions import ErasureCodeError, InsufficientChunksError
+
+
+class TestMdsChecks:
+    def test_identity_plus_cauchy_is_mds(self):
+        code = ReedSolomonCode(n=6, k=3)
+        assert code_is_mds(code, extension=0)
+        assert code_is_mds(code, extension=3)
+
+    def test_is_mds_rejects_wrong_columns(self):
+        with pytest.raises(ErasureCodeError):
+            is_mds(GFMatrix.identity(3), 2)
+
+    def test_non_mds_detected(self):
+        generator = GFMatrix([[1, 0], [0, 1], [1, 0]])  # rows 0 and 2 equal
+        assert not is_mds(generator, 2)
+
+    def test_extension_bounds_checked(self):
+        code = ReedSolomonCode(n=5, k=3)
+        with pytest.raises(ErasureCodeError):
+            code_is_mds(code, extension=4)
+
+    def test_minimum_distance_meets_singleton(self):
+        code = ReedSolomonCode(n=6, k=3)
+        generator = code.generator.submatrix(range(6))
+        assert minimum_distance(generator, 3) == singleton_bound(6, 3)
+
+    def test_singleton_bound_validation(self):
+        with pytest.raises(ErasureCodeError):
+            singleton_bound(2, 3)
+
+    def test_verify_recoverability_operational(self):
+        code = ReedSolomonCode(n=5, k=3)
+        payload = b"all k-subsets must decode this payload"
+        chunks = code.encode(payload)
+        assert verify_recoverability(code, payload, chunks)
+
+    def test_verify_recoverability_detects_corruption(self):
+        code = ReedSolomonCode(n=5, k=3)
+        payload = b"all k-subsets must decode this payload"
+        chunks = code.encode(payload)
+        corrupted = list(chunks)
+        corrupted[0] = type(chunks[0])(index=0, data=np.zeros_like(chunks[0].data))
+        assert not verify_recoverability(code, payload, corrupted)
+
+
+class TestFunctionalCaching:
+    def setup_method(self):
+        self.code = ReedSolomonCode(n=7, k=4)
+        self.coder = FunctionalCacheCoder(self.code, file_id="video-1")
+        self.payload = bytes(np.random.default_rng(1).integers(0, 256, 1000, dtype=np.uint8))
+        self.storage = self.coder.storage_chunks(self.payload)
+
+    def test_extended_code_is_mds_for_every_d(self):
+        for d in range(0, 5):
+            assert self.coder.verify_extended_code_is_mds(d)
+
+    def test_cache_chunks_have_extension_indices(self):
+        cached = self.coder.build_cache_chunks(self.payload, d=3)
+        assert [chunk.index for chunk in cached.chunks] == [7, 8, 9]
+        assert cached.d == 3
+        assert cached.original_size == len(self.payload)
+
+    def test_reconstruct_with_any_storage_subset(self):
+        cached = self.coder.build_cache_chunks(self.payload, d=2)
+        needed = self.coder.required_storage_chunks(2)
+        assert needed == 2
+        for subset in itertools.combinations(self.storage, needed):
+            recovered = self.coder.reconstruct(cached, subset)
+            assert recovered == self.payload
+
+    def test_reconstruct_requires_enough_storage_chunks(self):
+        cached = self.coder.build_cache_chunks(self.payload, d=1)
+        with pytest.raises(InsufficientChunksError):
+            self.coder.reconstruct(cached, self.storage[:2])
+
+    def test_fully_cached_file_needs_no_storage(self):
+        cached = self.coder.build_cache_chunks(self.payload, d=4)
+        assert self.coder.required_storage_chunks(4) == 0
+        assert self.coder.reconstruct(cached, []) == self.payload
+
+    def test_build_from_chunks_matches_build_from_payload(self):
+        from_payload = self.coder.build_cache_chunks(self.payload, d=2)
+        from_chunks = self.coder.build_cache_chunks_from_chunks(
+            self.storage[:4], d=2, original_size=len(self.payload)
+        )
+        for a, b in zip(from_payload.chunks, from_chunks.chunks):
+            assert a.index == b.index
+            assert np.array_equal(a.data, b.data)
+
+    def test_resize_shrink_keeps_prefix(self):
+        cached = self.coder.build_cache_chunks(self.payload, d=3)
+        shrunk = self.coder.resize_cache_allocation(cached, 1)
+        assert shrunk.d == 1
+        assert [c.index for c in shrunk.chunks] == [7]
+
+    def test_resize_grow_requires_payload(self):
+        cached = self.coder.build_cache_chunks(self.payload, d=1)
+        with pytest.raises(ErasureCodeError):
+            self.coder.resize_cache_allocation(cached, 3)
+        grown = self.coder.resize_cache_allocation(cached, 3, payload=self.payload)
+        assert grown.d == 3
+
+    def test_invalid_d_rejected(self):
+        with pytest.raises(ErasureCodeError):
+            self.coder.build_cache_chunks(self.payload, d=5)
+        with pytest.raises(ErasureCodeError):
+            self.coder.build_cache_chunks(self.payload, d=-1)
+
+    def test_cached_bytes(self):
+        cached = self.coder.build_cache_chunks(self.payload, d=2)
+        assert cached.cached_bytes == sum(chunk.size for chunk in cached.chunks)
+
+    def test_cached_file_dataclass_defaults(self):
+        empty = CachedFile(file_id="x", d=0)
+        assert empty.cached_bytes == 0
+
+    @given(
+        d=st.integers(min_value=0, max_value=4),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_any_k_of_storage_plus_cache_decodes(self, d, seed):
+        rng = np.random.default_rng(seed)
+        payload = bytes(rng.integers(0, 256, size=200, dtype=np.uint8))
+        cached = self.coder.build_cache_chunks(payload, d=d)
+        storage = self.coder.storage_chunks(payload)
+        chosen = rng.choice(7, size=4 - d, replace=False)
+        subset = [storage[int(i)] for i in chosen]
+        assert self.coder.reconstruct(cached, subset, original_size=len(payload)) == payload
+
+
+class TestExactVsFunctional:
+    def test_exact_cache_chunks_are_verbatim(self):
+        code = ReedSolomonCode(n=6, k=4)
+        coder = FunctionalCacheCoder(code)
+        payload = b"exact caching copies chunks verbatim" * 2
+        storage = coder.storage_chunks(payload)
+        cached = exact_cache_chunks(storage, 2)
+        assert [chunk.index for chunk in cached] == [0, 1]
+
+    def test_exact_cache_bounds(self):
+        code = ReedSolomonCode(n=6, k=4)
+        storage = FunctionalCacheCoder(code).storage_chunks(b"x" * 32)
+        with pytest.raises(ErasureCodeError):
+            exact_cache_chunks(storage, 7)
+
+    def test_candidate_node_counts(self):
+        counts = functional_vs_exact_candidate_nodes(n=7, k=4, d=2)
+        assert counts["required"] == 2
+        assert counts["functional_candidates"] == 7
+        assert counts["exact_candidates"] == 5
+
+    def test_candidate_node_counts_validation(self):
+        with pytest.raises(ErasureCodeError):
+            functional_vs_exact_candidate_nodes(n=4, k=5, d=0)

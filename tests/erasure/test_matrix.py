@@ -1,0 +1,112 @@
+"""Tests for GF(2^8) matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure.galois import GF256
+from repro.erasure.matrix import GFMatrix
+from repro.exceptions import GaloisFieldError
+
+
+class TestConstruction:
+    def test_rejects_non_2d(self):
+        with pytest.raises(GaloisFieldError):
+            GFMatrix([1, 2, 3])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(GaloisFieldError):
+            GFMatrix([[256]])
+
+    def test_identity(self):
+        identity = GFMatrix.identity(4)
+        assert identity.shape == (4, 4)
+        assert identity.rank() == 4
+
+    def test_zeros(self):
+        zeros = GFMatrix.zeros(2, 3)
+        assert zeros.shape == (2, 3)
+        assert zeros.rank() == 0
+
+    def test_vandermonde_row_limit(self):
+        with pytest.raises(GaloisFieldError):
+            GFMatrix.vandermonde(300, 4)
+
+    def test_cauchy_size_limit(self):
+        with pytest.raises(GaloisFieldError):
+            GFMatrix.cauchy(200, 100)
+
+    def test_equality_and_copy(self):
+        matrix = GFMatrix([[1, 2], [3, 4]])
+        assert matrix == matrix.copy()
+        assert matrix != GFMatrix([[1, 2], [3, 5]])
+
+
+class TestLinearAlgebra:
+    def test_multiply_identity(self):
+        matrix = GFMatrix([[5, 7, 1], [2, 9, 4], [8, 3, 6]])
+        assert matrix.multiply(GFMatrix.identity(3)) == matrix
+
+    def test_multiply_shape_mismatch(self):
+        with pytest.raises(GaloisFieldError):
+            GFMatrix.identity(2).multiply(GFMatrix.identity(3))
+
+    def test_multiply_vector(self):
+        matrix = GFMatrix([[1, 2], [3, 4]])
+        result = matrix.multiply_vector([5, 6])
+        assert result[0] == GF256.multiply(1, 5) ^ GF256.multiply(2, 6)
+        assert result[1] == GF256.multiply(3, 5) ^ GF256.multiply(4, 6)
+
+    def test_inverse_round_trip(self, rng):
+        matrix = GFMatrix.cauchy(4, 4)
+        product = matrix.multiply(matrix.inverse())
+        assert product == GFMatrix.identity(4)
+
+    def test_inverse_of_singular_raises(self):
+        singular = GFMatrix([[1, 2], [1, 2]])
+        with pytest.raises(GaloisFieldError):
+            singular.inverse()
+
+    def test_inverse_requires_square(self):
+        with pytest.raises(GaloisFieldError):
+            GFMatrix.zeros(2, 3).inverse()
+
+    def test_rank_of_duplicated_rows(self):
+        matrix = GFMatrix([[1, 2, 3], [1, 2, 3], [4, 5, 6]])
+        assert matrix.rank() == 2
+
+    def test_is_invertible(self):
+        assert GFMatrix.identity(3).is_invertible()
+        assert not GFMatrix([[1, 2], [1, 2]]).is_invertible()
+
+    @given(st.integers(min_value=1, max_value=5))
+    @settings(max_examples=10, deadline=None)
+    def test_vandermonde_every_k_rows_invertible(self, k):
+        matrix = GFMatrix.vandermonde(k + 3, k)
+        assert matrix.every_k_rows_invertible(k)
+
+    @given(st.integers(min_value=1, max_value=5))
+    @settings(max_examples=10, deadline=None)
+    def test_cauchy_every_k_rows_invertible(self, k):
+        matrix = GFMatrix.cauchy(k + 3, k)
+        assert matrix.every_k_rows_invertible(k)
+
+    def test_every_k_rows_requires_matching_columns(self):
+        with pytest.raises(GaloisFieldError):
+            GFMatrix.identity(3).every_k_rows_invertible(2)
+
+    def test_submatrix(self):
+        matrix = GFMatrix([[1, 2], [3, 4], [5, 6]])
+        sub = matrix.submatrix([2, 0])
+        assert sub == GFMatrix([[5, 6], [1, 2]])
+
+    def test_random_invertible_round_trip(self, rng):
+        while True:
+            data = rng.integers(0, 256, size=(5, 5), dtype=np.uint8)
+            matrix = GFMatrix(data)
+            if matrix.is_invertible():
+                break
+        assert matrix.multiply(matrix.inverse()) == GFMatrix.identity(5)

@@ -1,0 +1,171 @@
+"""Integration tests: every experiment module runs (in reduced form) and
+reproduces the qualitative shape the paper reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    fig3_convergence,
+    fig4_cache_size,
+    fig5_evolution,
+    fig6_placement,
+    fig7_scheduling,
+    fig9_service_cdf,
+    fig10_object_sizes,
+    fig11_arrival_rates,
+    tables,
+)
+from repro.experiments.runner import EXPERIMENTS, build_parser, run_experiment
+
+
+class TestFig3Convergence:
+    def test_converges_within_twenty_iterations(self):
+        result = fig3_convergence.run(
+            cache_sizes=(10, 20, 30), num_files=30, tolerance=0.01
+        )
+        assert len(result.curves) == 3
+        assert result.max_iterations() < 20
+        for curve in result.curves:
+            assert curve.converged
+            trace = curve.objective_trace
+            assert all(b <= a + 1e-6 for a, b in zip(trace, trace[1:]))
+        text = fig3_convergence.format_result(result)
+        assert "Fig. 3" in text
+
+    def test_larger_cache_reaches_lower_latency(self):
+        result = fig3_convergence.run(cache_sizes=(10, 40), num_files=30)
+        assert result.curves[1].final_latency <= result.curves[0].final_latency + 1e-6
+
+
+class TestFig4CacheSize:
+    def test_latency_decreases_convexly_to_zero(self):
+        result = fig4_cache_size.run(
+            cache_sizes=(0, 30, 60, 90, 120), num_files=30
+        )
+        assert result.is_nonincreasing(tolerance=1e-3)
+        # Full cache (4 chunks per file) drives the latency bound to ~0.
+        assert result.points[-1].latency == pytest.approx(0.0, abs=1e-3)
+        assert result.points[0].latency > 1.0
+        text = fig4_cache_size.format_result(result)
+        assert "Fig. 4" in text
+
+
+class TestFig5Evolution:
+    def test_cache_is_used_and_tracks_bins(self):
+        result = fig5_evolution.run(cache_capacity=10)
+        assert len(result.cache_per_bin) == 3
+        for bin_content in result.cache_per_bin:
+            total = sum(bin_content.values())
+            assert 0 < total <= 10
+        text = fig5_evolution.format_result(result)
+        assert "bin" in text
+        hottest = fig5_evolution.hottest_files_per_bin(result, top=2)
+        assert len(hottest) == 3
+
+
+class TestFig6Placement:
+    def test_allocation_shifts_with_arrival_rate(self):
+        result = fig6_placement.run(
+            sweep_rates=(0.0001250, 0.0001786, 0.0002778), cache_capacity=10
+        )
+        first_two = result.first_two_series()
+        last_six = result.last_six_series()
+        # At the low end the lightly-loaded first two files get little cache;
+        # at the high end they displace the last six files' chunks.
+        assert first_two[0] <= first_two[-1]
+        assert first_two[-1] > 0
+        assert last_six[0] >= last_six[-1]
+        text = fig6_placement.format_result(result)
+        assert "Fig. 6" in text
+
+
+class TestFig7Scheduling:
+    def test_cache_fraction_near_capacity_ratio(self):
+        result = fig7_scheduling.run(
+            per_object_rates=(0.0225,),
+            num_objects=120,
+            cache_capacity_chunks=150,
+            time_bin_length=100.0,
+        )
+        series = result.series[0]
+        assert len(series.slots) == 20
+        assert series.cache_fraction == pytest.approx(
+            series.expected_cache_fraction, abs=0.08
+        )
+        assert fig7_scheduling.format_result(result).startswith("Fig. 7")
+
+
+class TestFig9ServiceCdf:
+    def test_sampled_moments_match_table_iv(self):
+        result = fig9_service_cdf.run(samples_per_size=4000)
+        for cdf in result.cdfs:
+            assert cdf.sample_mean_ms == pytest.approx(cdf.table_mean_ms, rel=0.05)
+            assert cdf.cdf_at(cdf.percentile(95)) >= 0.94
+        rows = result.table_iv_rows()
+        assert {row["chunk_size_mb"] for row in rows} == {1, 4, 16, 64, 256}
+        assert "Table IV" in fig9_service_cdf.format_result(result)
+
+
+class TestTables:
+    def test_tables_regeneration(self):
+        result = tables.run(samples=3000)
+        assert len(result.table_iv) == 5
+        assert len(result.table_v) == 5
+        for row in result.table_iv:
+            assert row.emulated_mean_ms == pytest.approx(row.paper_mean_ms, rel=0.06)
+        for row in result.table_v:
+            assert row.emulated_latency_ms == pytest.approx(row.paper_latency_ms)
+        text = tables.format_result(result)
+        assert "Table I" in text and "Table V" in text
+
+
+class TestFig10ObjectSizes:
+    def test_optimal_beats_lru_and_gap_grows_with_size(self):
+        result = fig10_object_sizes.run(
+            object_sizes_mb=(16, 64),
+            num_objects=300,
+            duration_s=300.0,
+            rate_scale=3.0,
+        )
+        assert len(result.comparisons) == 2
+        for comparison in result.comparisons:
+            assert comparison.optimal_latency_ms <= comparison.baseline_latency_ms * 1.05
+        # Latency grows with object size in both configurations.
+        assert (
+            result.comparisons[1].optimal_latency_ms
+            > result.comparisons[0].optimal_latency_ms
+        )
+        assert "Fig. 10" in fig10_object_sizes.format_result(result)
+
+
+class TestFig11ArrivalRates:
+    def test_latency_grows_with_load_and_optimal_wins(self):
+        result = fig11_arrival_rates.run(
+            aggregate_rates=(0.5, 4.0),
+            num_objects=400,
+            duration_s=300.0,
+        )
+        assert len(result.comparisons) == 2
+        low, high = result.comparisons
+        assert high.baseline_latency_ms > low.baseline_latency_ms
+        assert high.optimal_latency_ms <= high.baseline_latency_ms
+        assert result.mean_improvement() > 0.0
+        assert "Fig. 11" in fig11_arrival_rates.format_result(result)
+
+
+class TestRunner:
+    def test_registry_covers_all_figures_and_tables(self):
+        assert set(EXPERIMENTS) == {
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10", "fig11", "tables",
+        }
+
+    def test_parser(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig9", "--scale", "fast"])
+        assert args.experiment == "fig9"
+        assert args.scale == "fast"
+
+    def test_run_experiment_fast(self):
+        report = run_experiment("fig9", "fast")
+        assert "Table IV" in report

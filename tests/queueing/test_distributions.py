@@ -1,0 +1,158 @@
+"""Tests for service-time distributions and their moments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ModelError
+from repro.queueing.distributions import (
+    DeterministicService,
+    EmpiricalMomentsService,
+    ExponentialService,
+    LogNormalService,
+    ParetoService,
+    ShiftedExponentialService,
+)
+
+positive_floats = st.floats(min_value=0.01, max_value=100.0, allow_nan=False)
+
+
+class TestExponential:
+    def test_moments(self):
+        service = ExponentialService(rate=0.5)
+        assert service.mean == pytest.approx(2.0)
+        assert service.second_moment == pytest.approx(8.0)
+        assert service.third_moment == pytest.approx(48.0)
+        assert service.variance == pytest.approx(4.0)
+        assert service.squared_coefficient_of_variation == pytest.approx(1.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ModelError):
+            ExponentialService(rate=0.0)
+
+    def test_sample_mean_matches(self, rng):
+        service = ExponentialService(rate=2.0)
+        samples = service.sample(rng, size=50_000)
+        assert np.mean(samples) == pytest.approx(0.5, rel=0.05)
+
+    @given(positive_floats)
+    def test_validate_passes(self, rate):
+        ExponentialService(rate).validate()
+
+
+class TestDeterministic:
+    def test_moments(self):
+        service = DeterministicService(3.0)
+        assert service.mean == 3.0
+        assert service.variance == pytest.approx(0.0)
+        assert service.third_moment == pytest.approx(27.0)
+
+    def test_sample_is_constant(self, rng):
+        service = DeterministicService(1.5)
+        assert service.sample(rng) == 1.5
+        assert np.all(service.sample(rng, size=10) == 1.5)
+
+    def test_invalid_value(self):
+        with pytest.raises(ModelError):
+            DeterministicService(0.0)
+
+
+class TestShiftedExponential:
+    def test_moments_match_monte_carlo(self, rng):
+        service = ShiftedExponentialService(shift=1.0, rate=2.0)
+        samples = service.sample(rng, size=200_000)
+        assert np.mean(samples) == pytest.approx(service.mean, rel=0.02)
+        assert np.mean(samples**2) == pytest.approx(service.second_moment, rel=0.03)
+        assert np.mean(samples**3) == pytest.approx(service.third_moment, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            ShiftedExponentialService(shift=-1.0, rate=1.0)
+        with pytest.raises(ModelError):
+            ShiftedExponentialService(shift=1.0, rate=0.0)
+
+    def test_accessors(self):
+        service = ShiftedExponentialService(shift=0.5, rate=4.0)
+        assert service.shift == 0.5
+        assert service.exponential_rate == 4.0
+
+
+class TestPareto:
+    def test_requires_shape_above_three(self):
+        with pytest.raises(ModelError):
+            ParetoService(scale=1.0, shape=2.5)
+
+    def test_moments_match_monte_carlo(self, rng):
+        service = ParetoService(scale=1.0, shape=5.0)
+        samples = service.sample(rng, size=500_000)
+        assert np.mean(samples) == pytest.approx(service.mean, rel=0.02)
+        assert np.mean(samples**2) == pytest.approx(service.second_moment, rel=0.05)
+
+    def test_mean_formula(self):
+        service = ParetoService(scale=2.0, shape=4.0)
+        assert service.mean == pytest.approx(4.0 * 2.0 / 3.0)
+
+
+class TestLogNormal:
+    def test_fit_matches_requested_moments(self):
+        service = LogNormalService.from_mean_variance(mean=10.0, variance=4.0)
+        assert service.mean == pytest.approx(10.0)
+        assert service.variance == pytest.approx(4.0)
+
+    def test_zero_variance_fit(self):
+        service = LogNormalService.from_mean_variance(mean=5.0, variance=0.0)
+        assert service.mean == pytest.approx(5.0)
+        assert service.log_sigma == 0.0
+
+    def test_sampling_matches_fit(self, rng):
+        service = LogNormalService.from_mean_variance(mean=3.0, variance=1.0)
+        samples = service.sample(rng, size=300_000)
+        assert np.mean(samples) == pytest.approx(3.0, rel=0.02)
+        assert np.var(samples) == pytest.approx(1.0, rel=0.05)
+
+    @given(
+        mean=st.floats(min_value=0.1, max_value=1000.0),
+        cv=st.floats(min_value=0.0, max_value=2.0),
+    )
+    @settings(max_examples=50)
+    def test_property_fit_round_trip(self, mean, cv):
+        variance = (cv * mean) ** 2
+        service = LogNormalService.from_mean_variance(mean, variance)
+        assert service.mean == pytest.approx(mean, rel=1e-9)
+        assert service.variance == pytest.approx(variance, rel=1e-6, abs=1e-9)
+
+
+class TestEmpiricalMoments:
+    def test_table_iv_style_fit(self):
+        service = EmpiricalMomentsService(mean=147.8462, variance=388.9872)
+        assert service.mean == pytest.approx(147.8462)
+        assert service.second_moment == pytest.approx(388.9872 + 147.8462**2)
+        service.validate()
+
+    def test_from_samples(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        service = EmpiricalMomentsService.from_samples(data)
+        assert service.mean == pytest.approx(2.5)
+        assert service.third_moment == pytest.approx(np.mean(np.array(data) ** 3))
+
+    def test_from_samples_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ModelError):
+            EmpiricalMomentsService.from_samples([])
+        with pytest.raises(ModelError):
+            EmpiricalMomentsService.from_samples([1.0, -2.0])
+
+    def test_validate_rejects_inconsistent_moments(self):
+        service = ExponentialService(1.0)
+        # Manually broken distribution via EmpiricalMomentsService is not
+        # constructible (log-normal fit enforces consistency), so check the
+        # base-class validation path directly with a negative-variance fake.
+        class Broken(type(service)):  # pragma: no cover - trivial shim
+            @property
+            def second_moment(self):
+                return 0.5  # < mean^2 = 1
+
+        with pytest.raises(ModelError):
+            Broken(1.0).validate()

@@ -1,0 +1,202 @@
+"""Tests for the M/G/1 moments (Eqs. 3-4) and the Lemma-1 latency bound."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import OptimizationError, StabilityError
+from repro.queueing.distributions import (
+    DeterministicService,
+    ExponentialService,
+)
+from repro.queueing.mg1 import MG1Queue, QueueMoments, queue_moment_derivatives, queue_moments
+from repro.queueing.order_stats import (
+    latency_bound_at_z,
+    latency_upper_bound,
+    optimal_z,
+    weighted_latency_objective,
+)
+from repro.queueing.stability import check_stability, max_supportable_rate, utilization
+
+
+class TestPollaczekKhinchine:
+    def test_mm1_sojourn_time(self):
+        # For M/M/1 the mean sojourn time is 1 / (mu - lambda).
+        mu, lam = 2.0, 1.0
+        moments = queue_moments(lam, ExponentialService(mu))
+        assert moments.mean == pytest.approx(1.0 / (mu - lam))
+
+    def test_mm1_sojourn_variance(self):
+        # For M/M/1 the sojourn time is exponential with rate mu - lambda...
+        # our expression is the P-K decomposition (service + waiting), whose
+        # variance for M/M/1 equals 1/(mu-lambda)^2.
+        mu, lam = 2.0, 1.0
+        moments = queue_moments(lam, ExponentialService(mu))
+        assert moments.variance == pytest.approx(1.0 / (mu - lam) ** 2, rel=1e-9)
+
+    def test_md1_waiting_time(self):
+        # M/D/1: waiting time = rho * s / (2 (1 - rho)); sojourn adds s.
+        service_time = 1.0
+        lam = 0.5
+        rho = lam * service_time
+        moments = queue_moments(lam, DeterministicService(service_time))
+        expected = service_time + rho * service_time / (2 * (1 - rho))
+        assert moments.mean == pytest.approx(expected)
+
+    def test_zero_arrivals_gives_pure_service(self):
+        moments = queue_moments(0.0, ExponentialService(0.25))
+        assert moments.mean == pytest.approx(4.0)
+        assert moments.variance == pytest.approx(16.0)
+        assert moments.utilization == 0.0
+
+    def test_unstable_raises_in_strict_mode(self):
+        with pytest.raises(StabilityError):
+            queue_moments(3.0, ExponentialService(2.0))
+
+    def test_unstable_clamped_in_lenient_mode(self):
+        moments = queue_moments(3.0, ExponentialService(2.0), strict=False)
+        assert moments.utilization < 1.0
+        assert math.isfinite(moments.mean)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(StabilityError):
+            queue_moments(-0.1, ExponentialService(1.0))
+
+    def test_moments_increase_with_load(self):
+        service = ExponentialService(1.0)
+        means = [queue_moments(lam, service).mean for lam in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert all(b > a for a, b in zip(means, means[1:]))
+
+    def test_derivatives_match_finite_differences(self):
+        service = ExponentialService(1.0)
+        lam = 0.4
+        eps = 1e-6
+        d_mean, d_var = queue_moment_derivatives(lam, service)
+        plus = queue_moments(lam + eps, service)
+        minus = queue_moments(lam - eps, service)
+        assert d_mean == pytest.approx((plus.mean - minus.mean) / (2 * eps), rel=1e-4)
+        assert d_var == pytest.approx((plus.variance - minus.variance) / (2 * eps), rel=1e-4)
+
+    def test_mg1_queue_wrapper(self):
+        queue = MG1Queue(ExponentialService(1.0), arrival_rate=0.5)
+        assert queue.is_stable
+        assert queue.utilization == pytest.approx(0.5)
+        assert queue.mean_waiting_time() == pytest.approx(2.0)
+        queue.arrival_rate = 0.9
+        assert queue.utilization == pytest.approx(0.9)
+        with pytest.raises(StabilityError):
+            queue.arrival_rate = -1.0
+
+
+class TestStabilityHelpers:
+    def test_utilization(self):
+        assert utilization(0.5, ExponentialService(1.0)) == pytest.approx(0.5)
+
+    def test_check_stability_passes(self):
+        services = [ExponentialService(1.0), ExponentialService(2.0)]
+        utilizations = check_stability([0.5, 1.0], services)
+        assert utilizations == {0: pytest.approx(0.5), 1: pytest.approx(0.5)}
+
+    def test_check_stability_raises(self):
+        with pytest.raises(StabilityError):
+            check_stability([1.5], [ExponentialService(1.0)])
+
+    def test_check_stability_with_margin(self):
+        with pytest.raises(StabilityError):
+            check_stability([0.95], [ExponentialService(1.0)], margin=0.1)
+
+    def test_max_supportable_rate(self):
+        assert max_supportable_rate(ExponentialService(2.0), margin=0.25) == pytest.approx(1.5)
+
+
+class TestLemma1Bound:
+    def _moments(self):
+        return {
+            0: QueueMoments(mean=2.0, variance=1.0, utilization=0.4),
+            1: QueueMoments(mean=5.0, variance=4.0, utilization=0.7),
+            2: QueueMoments(mean=3.0, variance=2.0, utilization=0.5),
+        }
+
+    def test_bound_at_least_weighted_mean(self):
+        # With z = 0 the bound reduces to sum pi_j * E[Q_j] (since
+        # sqrt(E^2+Var) >= E), so the optimal bound is at least ... a simple
+        # sanity floor: the bound must be >= max over j of pi_j * E[Q_j].
+        probabilities = {0: 1.0, 1: 1.0}
+        moments = self._moments()
+        bound = latency_upper_bound(probabilities, moments)
+        assert bound >= 5.0  # at least the slowest selected node's mean
+
+    def test_bound_is_convex_in_z(self):
+        probabilities = {0: 0.5, 1: 1.0, 2: 0.5}
+        moments = self._moments()
+        zs = np.linspace(0.0, 10.0, 41)
+        values = [latency_bound_at_z(z, probabilities, moments) for z in zs]
+        # Convexity: second differences non-negative.
+        second_differences = np.diff(values, 2)
+        assert np.all(second_differences > -1e-8)
+
+    def test_optimal_z_minimises(self):
+        probabilities = {0: 0.5, 1: 1.0, 2: 0.5}
+        moments = self._moments()
+        z_star = optimal_z(probabilities, moments)
+        best = latency_bound_at_z(z_star, probabilities, moments)
+        for z in np.linspace(0.0, 10.0, 101):
+            assert best <= latency_bound_at_z(float(z), probabilities, moments) + 1e-6
+
+    def test_single_node_bound_reduces_to_mean_plus_half_spread(self):
+        # With a single node selected w.p. 1, Lemma 1 gives exactly E[Q]
+        # when Var = 0 (the max over one deterministic-delay node).
+        moments = {0: QueueMoments(mean=4.0, variance=0.0, utilization=0.5)}
+        bound = latency_upper_bound({0: 1.0}, moments)
+        assert bound == pytest.approx(4.0, abs=1e-6)
+
+    def test_empty_selection_gives_zero(self):
+        assert latency_upper_bound({}, {}) == pytest.approx(0.0)
+        assert latency_upper_bound({0: 0.0}, self._moments()) == pytest.approx(0.0)
+
+    def test_probability_validation(self):
+        with pytest.raises(OptimizationError):
+            latency_bound_at_z(0.0, {0: 1.5}, self._moments())
+        with pytest.raises(OptimizationError):
+            latency_bound_at_z(0.0, {7: 0.5}, self._moments())
+
+    def test_weighted_objective(self):
+        moments = self._moments()
+        files = [{0: 1.0, 1: 1.0}, {1: 0.5, 2: 1.0}]
+        rates = [2.0, 1.0]
+        objective = weighted_latency_objective(files, rates, moments)
+        expected = (
+            2.0 / 3.0 * latency_upper_bound(files[0], moments)
+            + 1.0 / 3.0 * latency_upper_bound(files[1], moments)
+        )
+        assert objective == pytest.approx(expected)
+
+    def test_weighted_objective_validation(self):
+        with pytest.raises(OptimizationError):
+            weighted_latency_objective([{0: 1.0}], [1.0, 2.0], self._moments())
+        with pytest.raises(OptimizationError):
+            weighted_latency_objective([{0: 1.0}], [0.0], self._moments())
+
+    @given(
+        means=st.lists(st.floats(min_value=0.1, max_value=50.0), min_size=2, max_size=6),
+        variances=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_bound_dominates_expected_max_lower_bound(self, means, variances):
+        # The mean of the max of the selected nodes is at least the largest
+        # selected mean; Lemma 1 upper-bounds the mean of the max, so the
+        # computed bound must also be at least that largest mean when all
+        # probabilities are 1 (every node always selected).
+        size = min(len(means), len(variances))
+        moments = {
+            j: QueueMoments(mean=means[j], variance=variances[j], utilization=0.5)
+            for j in range(size)
+        }
+        probabilities = {j: 1.0 for j in range(size)}
+        bound = latency_upper_bound(probabilities, moments)
+        assert bound >= max(means[:size]) - 1e-6

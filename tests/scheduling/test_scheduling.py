@@ -1,0 +1,135 @@
+"""Tests for inclusion-probability sampling and the probabilistic scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithm import CacheOptimizer
+from repro.exceptions import SimulationError
+from repro.scheduling.sampling import (
+    empirical_inclusion_frequencies,
+    sample_node_set,
+    split_request,
+    systematic_inclusion_sample,
+)
+from repro.scheduling.scheduler import ProbabilisticScheduler
+
+
+class TestSystematicSampling:
+    def test_set_size_matches_probability_sum(self, rng):
+        probabilities = {0: 0.5, 1: 0.75, 2: 0.75, 3: 1.0}
+        for _ in range(50):
+            selected = sample_node_set(probabilities, rng)
+            assert len(selected) == 3
+            assert len(set(selected)) == 3
+
+    def test_zero_sum_returns_empty(self, rng):
+        assert sample_node_set({0: 0.0, 1: 0.0}, rng) == []
+
+    def test_certain_nodes_always_included(self, rng):
+        probabilities = {0: 1.0, 1: 0.5, 2: 0.5}
+        for _ in range(30):
+            assert 0 in sample_node_set(probabilities, rng)
+
+    def test_non_integer_sum_rejected(self, rng):
+        with pytest.raises(SimulationError):
+            systematic_inclusion_sample([0, 1], [0.4, 0.3], rng)
+
+    def test_out_of_range_probability_rejected(self, rng):
+        with pytest.raises(SimulationError):
+            systematic_inclusion_sample([0, 1], [1.4, 0.6], rng)
+
+    def test_length_mismatch_rejected(self, rng):
+        with pytest.raises(SimulationError):
+            systematic_inclusion_sample([0, 1, 2], [0.5, 0.5], rng)
+
+    def test_marginals_match_requested_probabilities(self, rng):
+        probabilities = {0: 0.9, 1: 0.6, 2: 0.3, 3: 0.2}
+        frequencies = empirical_inclusion_frequencies(probabilities, rng, draws=4000)
+        for node, probability in probabilities.items():
+            assert frequencies[node] == pytest.approx(probability, abs=0.04)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=3, max_size=8
+        ),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_set_size_always_integer_sum(self, values, seed):
+        total = sum(values)
+        # Adjust the last value so the total is an integer within [0, len].
+        target = round(total)
+        if target > len(values):
+            target = len(values)
+        diff = target - total
+        values = list(values)
+        values[-1] = min(max(values[-1] + diff, 0.0), 1.0)
+        if abs(sum(values) - target) > 1e-9:
+            return  # adjustment hit the box boundary; skip this example
+        rng = np.random.default_rng(seed)
+        selected = systematic_inclusion_sample(list(range(len(values))), values, rng)
+        assert len(selected) == target
+
+    def test_split_request(self, rng):
+        cached, nodes = split_request(4, 1, {0: 1.0, 1: 1.0, 2: 0.5, 3: 0.5}, rng)
+        assert cached == 1
+        assert len(nodes) == 3
+        with pytest.raises(SimulationError):
+            split_request(4, 5, {0: 1.0}, rng)
+
+
+class TestProbabilisticScheduler:
+    def _scheduler(self, seed=0):
+        cached = {"a": 1, "b": 0}
+        probabilities = {
+            "a": {0: 1.0, 1: 0.5, 2: 0.5},  # k - d = 2
+            "b": {0: 1.0, 1: 1.0, 2: 1.0},  # k - d = 3
+        }
+        k_values = {"a": 3, "b": 3}
+        return ProbabilisticScheduler(cached, probabilities, k_values, seed=seed)
+
+    def test_dispatch_structure(self):
+        scheduler = self._scheduler()
+        request = scheduler.dispatch("a", arrival_time=1.0)
+        assert request.cache_chunks == 1
+        assert len(request.storage_nodes) == 2
+        assert request.total_chunks == 3
+        cache_targets = [c for c in request.chunk_requests if c.from_cache]
+        storage_targets = [c for c in request.chunk_requests if not c.from_cache]
+        assert len(cache_targets) == 1
+        assert len(storage_targets) == 2
+
+    def test_unknown_file_rejected(self):
+        with pytest.raises(SimulationError):
+            self._scheduler().dispatch("zzz", 0.0)
+
+    def test_inconsistent_probabilities_rejected(self):
+        with pytest.raises(SimulationError):
+            ProbabilisticScheduler({"a": 1}, {"a": {0: 1.0}}, {"a": 3})
+
+    def test_invalid_cached_count_rejected(self):
+        with pytest.raises(SimulationError):
+            ProbabilisticScheduler({"a": 5}, {"a": {}}, {"a": 3})
+
+    def test_expected_node_load(self):
+        scheduler = self._scheduler()
+        load = scheduler.expected_node_load({"a": 2.0, "b": 1.0})
+        assert load[0] == pytest.approx(2.0 * 1.0 + 1.0 * 1.0)
+        assert load[1] == pytest.approx(2.0 * 0.5 + 1.0 * 1.0)
+
+    def test_expected_cache_fraction(self):
+        scheduler = self._scheduler()
+        fraction = scheduler.expected_cache_fraction({"a": 1.0, "b": 1.0})
+        assert fraction == pytest.approx(1.0 / 6.0)
+
+    def test_from_placement_round_trip(self, small_model):
+        placement = CacheOptimizer(small_model, tolerance=0.01).optimize().placement
+        scheduler = ProbabilisticScheduler.from_placement(placement, seed=1)
+        for spec in small_model.files:
+            request = scheduler.dispatch(spec.file_id, 0.0)
+            assert request.total_chunks == spec.k
+            assert set(request.storage_nodes) <= set(spec.placement)

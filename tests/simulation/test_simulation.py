@@ -1,0 +1,266 @@
+"""Tests for the discrete-event simulator and its building blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.static import no_cache_placement
+from repro.core.algorithm import CacheOptimizer
+from repro.exceptions import SimulationError, WorkloadError
+from repro.queueing.distributions import DeterministicService, ExponentialService
+from repro.queueing.mg1 import queue_moments
+from repro.simulation.arrivals import (
+    NonHomogeneousPoissonArrivals,
+    PoissonArrivalProcess,
+    generate_request_stream,
+    merge_arrival_streams,
+)
+from repro.simulation.events import EventQueue
+from repro.simulation.metrics import LatencyMetrics, SlotCounter
+from repro.simulation.node import CacheDevice, StorageNodeQueue
+from repro.simulation.simulator import (
+    SimulationConfig,
+    StorageSimulator,
+    simulate_placement_latency,
+)
+
+
+class TestEventQueue:
+    def test_ordering_and_clock(self):
+        queue = EventQueue()
+        queue.schedule(5.0, "b")
+        queue.schedule(1.0, "a")
+        queue.schedule(5.0, "c")
+        assert queue.pop().kind == "a"
+        first_tie = queue.pop()
+        assert first_tie.kind == "b"  # insertion order breaks the tie
+        assert queue.now == 5.0
+        assert queue.pop().kind == "c"
+        assert queue.is_empty()
+
+    def test_cannot_schedule_in_past(self):
+        queue = EventQueue()
+        queue.schedule(10.0, "x")
+        queue.pop()
+        with pytest.raises(SimulationError):
+            queue.schedule(5.0, "y")
+
+    def test_schedule_after_and_run_until(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule_after(1.0, "tick", callback=lambda e: fired.append(e.time))
+        queue.schedule_after(2.0, "tick", callback=lambda e: fired.append(e.time))
+        queue.schedule_after(9.0, "late", callback=lambda e: fired.append(e.time))
+        processed = queue.run_until(5.0)
+        assert processed == 2
+        assert fired == [1.0, 2.0]
+        assert queue.now == 5.0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+
+class TestStorageNodeQueue:
+    def test_fifo_backlog_accumulates(self, rng):
+        node = StorageNodeQueue(0, DeterministicService(2.0), rng=rng)
+        first = node.enqueue_chunk(0.0, "f", 0)
+        second = node.enqueue_chunk(0.0, "f", 1)
+        third = node.enqueue_chunk(10.0, "f", 2)
+        assert first == pytest.approx(2.0)
+        assert second == pytest.approx(4.0)   # waits for the first
+        assert third == pytest.approx(12.0)   # idle gap, then service
+        assert node.chunks_served == 3
+        assert node.busy_fraction(12.0) == pytest.approx(0.5)
+
+    def test_records_kept_when_enabled(self, rng):
+        node = StorageNodeQueue(0, DeterministicService(1.0), rng=rng, keep_records=True)
+        node.enqueue_chunk(0.0, "f", 0)
+        node.enqueue_chunk(0.0, "f", 1)
+        records = node.records
+        assert records[1].waiting_time == pytest.approx(1.0)
+        assert records[1].sojourn_time == pytest.approx(2.0)
+
+    def test_mean_sojourn_matches_mg1_theory(self):
+        # Long single-node simulation vs the Pollaczek-Khinchine prediction.
+        rng = np.random.default_rng(7)
+        service = ExponentialService(1.0)
+        node = StorageNodeQueue(0, service, rng=rng, keep_records=True)
+        arrival_rate = 0.6
+        time = 0.0
+        while time < 50_000.0:
+            time += rng.exponential(1.0 / arrival_rate)
+            node.enqueue_chunk(time, "f", 0)
+        sojourns = [record.sojourn_time for record in node.records[1000:]]
+        predicted = queue_moments(arrival_rate, service).mean
+        assert np.mean(sojourns) == pytest.approx(predicted, rel=0.08)
+
+    def test_reset(self, rng):
+        node = StorageNodeQueue(0, DeterministicService(1.0), rng=rng)
+        node.enqueue_chunk(0.0, "f", 0)
+        node.reset()
+        assert node.chunks_served == 0
+        assert node.queue_length_proxy(0.0) == 0.0
+
+
+class TestCacheDevice:
+    def test_zero_latency_by_default(self):
+        cache = CacheDevice()
+        assert cache.read_chunk(5.0) == 5.0
+        assert cache.chunks_served == 1
+
+    def test_with_service_distribution(self, rng):
+        cache = CacheDevice(service=DeterministicService(0.5), rng=rng)
+        assert cache.read_chunk(1.0) == pytest.approx(1.5)
+
+    def test_finite_concurrency_queues(self, rng):
+        cache = CacheDevice(service=DeterministicService(1.0), rng=rng, concurrency=1)
+        first = cache.read_chunk(0.0)
+        second = cache.read_chunk(0.0)
+        assert first == pytest.approx(1.0)
+        assert second == pytest.approx(2.0)
+
+
+class TestArrivals:
+    def test_poisson_rate(self, rng):
+        process = PoissonArrivalProcess("f", rate=2.0)
+        times = process.generate(10_000.0, rng)
+        assert len(times) == pytest.approx(20_000, rel=0.05)
+        assert all(0 <= t < 10_000.0 for t in times)
+
+    def test_zero_rate(self, rng):
+        assert PoissonArrivalProcess("f", rate=0.0).generate(100.0, rng) == []
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(WorkloadError):
+            PoissonArrivalProcess("f", rate=-1.0)
+
+    def test_non_homogeneous_rates(self, rng):
+        process = NonHomogeneousPoissonArrivals("f", [(0.0, 5.0), (100.0, 0.5)])
+        times = process.generate(200.0, rng)
+        first_half = sum(1 for t in times if t < 100.0)
+        second_half = len(times) - first_half
+        assert first_half == pytest.approx(500, rel=0.2)
+        assert second_half == pytest.approx(50, rel=0.5)
+        assert process.rate_at(50.0) == 5.0
+        assert process.rate_at(150.0) == 0.5
+
+    def test_non_homogeneous_validation(self):
+        with pytest.raises(WorkloadError):
+            NonHomogeneousPoissonArrivals("f", [])
+        with pytest.raises(WorkloadError):
+            NonHomogeneousPoissonArrivals("f", [(0.0, 1.0), (0.0, 2.0)])
+
+    def test_merge_streams_sorted(self):
+        merged = merge_arrival_streams({"a": [3.0, 1.0], "b": [2.0]})
+        assert [t for t, _ in merged] == [1.0, 2.0, 3.0]
+
+    def test_generate_request_stream(self, rng):
+        stream = generate_request_stream({"a": 1.0, "b": 2.0}, 1000.0, rng)
+        counts = {"a": 0, "b": 0}
+        for _, file_id in stream:
+            counts[file_id] += 1
+        assert counts["b"] / max(counts["a"], 1) == pytest.approx(2.0, rel=0.15)
+
+
+class TestMetrics:
+    def test_latency_metrics_summary(self):
+        metrics = LatencyMetrics()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            metrics.record("f", value)
+        summary = metrics.summary()
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(2.5)
+        assert metrics.file_mean_latency("f") == pytest.approx(2.5)
+        assert metrics.percentile(50) == pytest.approx(2.5)
+
+    def test_latency_metrics_validation(self):
+        metrics = LatencyMetrics()
+        with pytest.raises(SimulationError):
+            metrics.mean_latency()
+        with pytest.raises(SimulationError):
+            metrics.record("f", -1.0)
+
+    def test_weighted_mean(self):
+        metrics = LatencyMetrics()
+        metrics.record("a", 10.0)
+        metrics.record("b", 2.0)
+        weighted = metrics.weighted_mean_latency({"a": 3.0, "b": 1.0})
+        assert weighted == pytest.approx((3 * 10 + 1 * 2) / 4)
+
+    def test_slot_counter(self):
+        counter = SlotCounter(slot_length=5.0, num_slots=4)
+        counter.record_cache_chunks(2.0, 3)
+        counter.record_storage_chunks(2.0, 1)
+        counter.record_storage_chunks(7.0, 2)
+        counter.record_cache_chunks(100.0, 9)  # outside the horizon, ignored
+        assert counter.total_cache_chunks == 3
+        assert counter.total_storage_chunks == 3
+        assert counter.cache_fraction() == pytest.approx(0.5)
+        rows = counter.as_rows()
+        assert rows[0]["cache_chunks"] == 3 and rows[1]["storage_chunks"] == 2
+
+
+class TestStorageSimulator:
+    def test_conservation_of_chunks(self, small_model):
+        placement = CacheOptimizer(small_model, tolerance=0.01).optimize().placement
+        simulator = StorageSimulator(small_model, placement)
+        result = simulator.run(SimulationConfig(horizon=20_000.0, seed=3))
+        per_request_chunks = {
+            spec.file_id: spec.k for spec in small_model.files
+        }
+        # Every dispatched request contributes exactly k chunk requests.
+        total_chunks = result.chunks_from_cache + result.chunks_from_storage
+        expected = sum(
+            len(samples) * per_request_chunks[file_id]
+            for file_id, samples in result.metrics.per_file.items()
+        )
+        assert total_chunks == expected
+        assert sum(result.per_node_chunks.values()) == result.chunks_from_storage
+
+    def test_simulated_latency_below_analytical_bound(self, small_model):
+        placement = CacheOptimizer(small_model, tolerance=0.001).optimize().placement
+        simulator = StorageSimulator(small_model, placement)
+        result = simulator.run(
+            SimulationConfig(horizon=120_000.0, seed=5, warmup=5_000.0)
+        )
+        # Lemma 1 is an upper bound on the mean latency.
+        assert result.mean_latency() <= placement.objective * 1.05
+
+    def test_caching_reduces_simulated_latency(self, small_model):
+        optimized = CacheOptimizer(small_model, tolerance=0.001).optimize().placement
+        baseline = no_cache_placement(small_model)
+        config = SimulationConfig(horizon=80_000.0, seed=9, warmup=4_000.0)
+        with_cache = StorageSimulator(small_model, optimized).run(config).mean_latency()
+        without_cache = StorageSimulator(small_model, baseline).run(config).mean_latency()
+        assert with_cache <= without_cache
+
+    def test_reproducible_with_seed(self, small_model):
+        placement = CacheOptimizer(small_model, tolerance=0.01).optimize().placement
+        config = SimulationConfig(horizon=5_000.0, seed=42)
+        first = StorageSimulator(small_model, placement).run(config)
+        second = StorageSimulator(small_model, placement).run(config)
+        assert first.mean_latency() == pytest.approx(second.mean_latency())
+        assert first.chunks_from_cache == second.chunks_from_cache
+
+    def test_default_scheduler_without_placement(self, small_model):
+        result = StorageSimulator(small_model, None).run(
+            SimulationConfig(horizon=5_000.0, seed=1)
+        )
+        assert result.chunks_from_cache == 0
+        assert result.cache_chunk_fraction() == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(horizon=0.0)
+        with pytest.raises(SimulationError):
+            SimulationConfig(horizon=10.0, warmup=20.0)
+        with pytest.raises(SimulationError):
+            SimulationConfig(horizon=10.0, slot_length=0.0)
+
+    def test_convenience_helper(self, small_model):
+        latency = simulate_placement_latency(
+            small_model, None, horizon=5_000.0, seed=2
+        )
+        assert latency > 0.0
