@@ -5,13 +5,25 @@ shape-preserving configuration (so the whole suite runs in minutes on a
 laptop) and prints the regenerated rows/series next to the timing numbers.
 Set the environment variable ``SPROUT_BENCH_SCALE=paper`` to run the
 full-size configurations instead.
+
+Besides the human-readable report, every benchmark dumps a machine-readable
+``BENCH_<name>.json`` at the repository root (wall time plus benchmark-
+specific metrics such as requests/second or the converged objective) so the
+performance trajectory can be tracked across revisions.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple
 
 import pytest
+
+#: Repository root, where the ``BENCH_<name>.json`` files land.
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def bench_scale() -> str:
@@ -29,3 +41,37 @@ def print_report(title: str, body: str) -> None:
     """Print a regenerated table/figure below the benchmark timings."""
     separator = "=" * 72
     print(f"\n{separator}\n{title}\n{separator}\n{body}\n")
+
+
+def write_bench_json(name: str, payload: Dict[str, Any]) -> Path:
+    """Write one benchmark's metrics to ``BENCH_<name>.json`` at the repo root."""
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def timed_run(
+    benchmark,
+    name: str,
+    scale: str,
+    fn: Callable[..., Any],
+    *args: Any,
+    metrics: Optional[Callable[[Any], Dict[str, Any]]] = None,
+) -> Tuple[Any, float]:
+    """Run ``fn`` under pytest-benchmark, dump its timing JSON, return result.
+
+    ``metrics`` optionally maps the benchmark result to extra key/value
+    pairs (objective, requests/second, ...) recorded in the JSON payload.
+    """
+    start = time.perf_counter()
+    result = benchmark.pedantic(fn, args=args, iterations=1, rounds=1)
+    wall_seconds = time.perf_counter() - start
+    payload: Dict[str, Any] = {
+        "name": name,
+        "scale": scale,
+        "wall_seconds": wall_seconds,
+    }
+    if metrics is not None:
+        payload.update(metrics(result))
+    write_bench_json(name, payload)
+    return result, wall_seconds

@@ -13,7 +13,7 @@ Two design choices called out in DESIGN.md are benchmarked here:
 from __future__ import annotations
 
 import numpy as np
-from conftest import print_report
+from conftest import print_report, timed_run
 
 from repro.baselines.exact import popularity_allocation
 from repro.baselines.static import exact_vs_functional_bounds
@@ -28,8 +28,23 @@ def _optimize(pi_solver: str):
     ).optimize()
 
 
-def test_ablation_projected_gradient(benchmark):
-    outcome = benchmark.pedantic(_optimize, args=("projected_gradient",), iterations=1, rounds=1)
+def _solver_metrics(outcome):
+    return {
+        "objective": outcome.final_objective,
+        "outer_iterations": outcome.outer_iterations,
+        "inner_solves": outcome.inner_solves,
+    }
+
+
+def test_ablation_projected_gradient(benchmark, scale):
+    outcome, _ = timed_run(
+        benchmark,
+        "ablation_projected_gradient",
+        scale,
+        _optimize,
+        "projected_gradient",
+        metrics=_solver_metrics,
+    )
     print_report(
         "Ablation -- Prob-Pi solver: projected gradient",
         f"objective = {outcome.final_objective:.4f} s, "
@@ -38,8 +53,15 @@ def test_ablation_projected_gradient(benchmark):
     assert outcome.converged
 
 
-def test_ablation_frank_wolfe(benchmark):
-    outcome = benchmark.pedantic(_optimize, args=("frank_wolfe",), iterations=1, rounds=1)
+def test_ablation_frank_wolfe(benchmark, scale):
+    outcome, _ = timed_run(
+        benchmark,
+        "ablation_frank_wolfe",
+        scale,
+        _optimize,
+        "frank_wolfe",
+        metrics=_solver_metrics,
+    )
     print_report(
         "Ablation -- Prob-Pi solver: Frank-Wolfe",
         f"objective = {outcome.final_objective:.4f} s, "
@@ -49,14 +71,16 @@ def test_ablation_frank_wolfe(benchmark):
     assert outcome.final_objective <= reference.final_objective * 1.10 + 1e-6
 
 
-def test_ablation_functional_vs_exact(benchmark):
+def test_ablation_functional_vs_exact(benchmark, scale):
     model = paper_default_model(num_files=80, cache_capacity=40, seed=5, rate_scale=8.0)
     allocation = popularity_allocation(model)
 
     def run():
         return exact_vs_functional_bounds(model, allocation)
 
-    comparison = benchmark.pedantic(run, iterations=1, rounds=1)
+    comparison, _ = timed_run(
+        benchmark, "ablation_functional_vs_exact", scale, run
+    )
     functional = np.array([v["functional"] for v in comparison.values()])
     exact = np.array([v["exact"] for v in comparison.values()])
     gain = 1.0 - functional.sum() / exact.sum()

@@ -1,24 +1,42 @@
-"""Benchmark: Fig. 11 -- latency vs workload intensity, optimal vs LRU caching."""
+"""Benchmark: Fig. 11 -- latency vs workload intensity, optimal vs LRU caching.
+
+Also times the event vs batch simulation engines on the Fig. 11 workload
+and records the speedup in ``BENCH_fig11_engine_speedup.json`` -- the
+machine-readable perf trajectory of the vectorised engine.
+"""
 
 from __future__ import annotations
 
-from conftest import print_report
+from conftest import print_report, timed_run, write_bench_json
 
 from repro.experiments import fig11_arrival_rates
 
 
 def _run(scale: str):
     if scale == "paper":
-        return fig11_arrival_rates.run()
+        return fig11_arrival_rates.run(simulate=True)
     return fig11_arrival_rates.run(
         aggregate_rates=(0.5, 2.0, 8.0),
         num_objects=400,
         duration_s=300.0,
+        simulate=True,
     )
 
 
+def _metrics(result):
+    return {
+        "engine": "batch",
+        "mean_improvement": result.mean_improvement(),
+        "simulated_latencies_ms": [
+            comparison.simulated_latency_ms for comparison in result.comparisons
+        ],
+    }
+
+
 def test_fig11_arrival_rates(benchmark, scale):
-    result = benchmark.pedantic(_run, args=(scale,), iterations=1, rounds=1)
+    result, _ = timed_run(
+        benchmark, "fig11_arrival_rates", scale, _run, scale, metrics=_metrics
+    )
     print_report(
         "Fig. 11 -- latency vs aggregate arrival rate (optimal vs Ceph LRU)",
         fig11_arrival_rates.format_result(result),
@@ -26,3 +44,45 @@ def test_fig11_arrival_rates(benchmark, scale):
     assert result.mean_improvement() > 0.0
     low, high = result.comparisons[0], result.comparisons[-1]
     assert high.baseline_latency_ms > low.baseline_latency_ms
+    for comparison in result.comparisons:
+        assert comparison.simulated_latency_ms is not None
+
+
+def test_fig11_engine_speedup(benchmark, scale):
+    """Batch engine must beat the event engine >= 20x on the Fig. 11 workload."""
+    if scale == "paper":
+        kwargs = dict(aggregate_rate=8.0, num_objects=1000, duration_s=1800.0)
+    else:
+        kwargs = dict(aggregate_rate=8.0, num_objects=400, duration_s=1800.0)
+
+    speedup = benchmark.pedantic(
+        fig11_arrival_rates.measure_engine_speedup,
+        kwargs=kwargs,
+        iterations=1,
+        rounds=1,
+    )
+    write_bench_json(
+        "fig11_engine_speedup",
+        {
+            "name": "fig11_engine_speedup",
+            "scale": scale,
+            "workload": kwargs,
+            "requests": speedup.requests,
+            "event_seconds": speedup.event_seconds,
+            "batch_seconds": speedup.batch_seconds,
+            "speedup": speedup.speedup,
+            "event_requests_per_second": speedup.requests_per_second("event"),
+            "batch_requests_per_second": speedup.requests_per_second("batch"),
+            "event_mean_latency_ms": speedup.event_mean_latency_ms,
+            "batch_mean_latency_ms": speedup.batch_mean_latency_ms,
+            "latency_relative_gap": speedup.latency_relative_gap,
+        },
+    )
+    print_report(
+        "Engine speedup -- event vs batch on the Fig. 11 workload",
+        f"{speedup.requests} requests: event engine {speedup.event_seconds:.3f} s, "
+        f"batch engine {speedup.batch_seconds:.4f} s -> {speedup.speedup:.1f}x "
+        f"(mean latency gap {speedup.latency_relative_gap:.2%})",
+    )
+    assert speedup.speedup >= 20.0
+    assert speedup.latency_relative_gap < 0.10

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from conftest import print_report
+from conftest import print_report, timed_run
 
 from repro.experiments import fig3_convergence
 
@@ -13,8 +13,19 @@ def _run(scale: str):
     return fig3_convergence.run(cache_sizes=(20, 40, 60, 80, 100), num_files=100)
 
 
+def _metrics(result):
+    return {
+        "objective": result.curves[-1].final_latency,
+        "max_outer_iterations": result.max_iterations(),
+        "num_files": result.num_files,
+        "cache_sizes": [curve.cache_size for curve in result.curves],
+    }
+
+
 def test_fig3_convergence(benchmark, scale):
-    result = benchmark.pedantic(_run, args=(scale,), iterations=1, rounds=1)
+    result, _ = timed_run(
+        benchmark, "fig3_convergence", scale, _run, scale, metrics=_metrics
+    )
     print_report(
         "Fig. 3 -- convergence of Algorithm 1", fig3_convergence.format_result(result)
     )

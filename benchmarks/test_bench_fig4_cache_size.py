@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from conftest import print_report
+from conftest import print_report, timed_run
 
 from repro.experiments import fig4_cache_size
 
@@ -13,8 +13,18 @@ def _run(scale: str):
     return fig4_cache_size.run(num_files=100)
 
 
+def _metrics(result):
+    return {
+        "objective": result.points[-1].latency,
+        "num_files": result.num_files,
+        "sweep_points": len(result.points),
+    }
+
+
 def test_fig4_cache_size(benchmark, scale):
-    result = benchmark.pedantic(_run, args=(scale,), iterations=1, rounds=1)
+    result, _ = timed_run(
+        benchmark, "fig4_cache_size", scale, _run, scale, metrics=_metrics
+    )
     print_report(
         "Fig. 4 -- average latency vs cache size",
         fig4_cache_size.format_result(result),

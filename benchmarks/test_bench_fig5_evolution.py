@@ -2,13 +2,22 @@
 
 from __future__ import annotations
 
-from conftest import print_report
+from conftest import print_report, timed_run
 
 from repro.experiments import fig5_evolution
 
 
+def _metrics(result):
+    return {
+        "time_bins": len(result.cache_per_bin),
+        "cache_capacity": result.cache_capacity,
+    }
+
+
 def test_fig5_evolution(benchmark, scale):
-    result = benchmark.pedantic(fig5_evolution.run, iterations=1, rounds=1)
+    result, _ = timed_run(
+        benchmark, "fig5_evolution", scale, fig5_evolution.run, metrics=_metrics
+    )
     print_report(
         "Fig. 5 / Table I -- cache content evolution",
         fig5_evolution.format_result(result),

@@ -2,13 +2,22 @@
 
 from __future__ import annotations
 
-from conftest import print_report
+from conftest import print_report, timed_run
 
 from repro.experiments import fig6_placement
 
 
+def _metrics(result):
+    return {
+        "first_two_final": result.first_two_series()[-1],
+        "last_six_final": result.last_six_series()[-1],
+    }
+
+
 def test_fig6_placement(benchmark, scale):
-    result = benchmark.pedantic(fig6_placement.run, iterations=1, rounds=1)
+    result, _ = timed_run(
+        benchmark, "fig6_placement", scale, fig6_placement.run, metrics=_metrics
+    )
     print_report(
         "Fig. 6 -- cache allocation vs arrival rate of the first two files",
         fig6_placement.format_result(result),

@@ -1,8 +1,11 @@
-"""Benchmark: Fig. 7 -- chunk requests served by cache vs storage per slot."""
+"""Benchmark: Fig. 7 -- chunk requests served by cache vs storage per slot.
+
+Runs on the vectorised batch simulation engine (the experiment's default).
+"""
 
 from __future__ import annotations
 
-from conftest import print_report
+from conftest import print_report, timed_run
 
 from repro.experiments import fig7_scheduling
 
@@ -13,8 +16,18 @@ def _run(scale: str):
     return fig7_scheduling.run(num_objects=200, cache_capacity_chunks=250)
 
 
+def _metrics(result):
+    return {
+        "engine": "batch",
+        "num_objects": result.num_objects,
+        "cache_fractions": [series.cache_fraction for series in result.series],
+    }
+
+
 def test_fig7_scheduling(benchmark, scale):
-    result = benchmark.pedantic(_run, args=(scale,), iterations=1, rounds=1)
+    result, _ = timed_run(
+        benchmark, "fig7_scheduling", scale, _run, scale, metrics=_metrics
+    )
     print_report(
         "Fig. 7 -- cache vs storage chunk scheduling",
         fig7_scheduling.format_result(result),

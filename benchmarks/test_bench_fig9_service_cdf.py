@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from conftest import print_report
+from conftest import print_report, timed_run
 
 from repro.experiments import fig9_service_cdf
 
@@ -12,8 +12,17 @@ def _run(scale: str):
     return fig9_service_cdf.run(samples_per_size=samples)
 
 
+def _metrics(result):
+    return {
+        "samples_per_size": result.samples_per_size,
+        "chunk_sizes_mb": [cdf.chunk_size_mb for cdf in result.cdfs],
+    }
+
+
 def test_fig9_service_cdf(benchmark, scale):
-    result = benchmark.pedantic(_run, args=(scale,), iterations=1, rounds=1)
+    result, _ = timed_run(
+        benchmark, "fig9_service_cdf", scale, _run, scale, metrics=_metrics
+    )
     print_report(
         "Fig. 9 / Table IV -- chunk service-time distribution",
         fig9_service_cdf.format_result(result),

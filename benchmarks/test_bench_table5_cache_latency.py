@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from conftest import print_report
+from conftest import print_report, timed_run
 
 from repro.experiments import tables
 
@@ -12,8 +12,15 @@ def _run(scale: str):
     return tables.run(samples=samples)
 
 
+def _metrics(result):
+    return {
+        "table_iv_rows": len(result.table_iv),
+        "table_v_rows": len(result.table_v),
+    }
+
+
 def test_tables(benchmark, scale):
-    result = benchmark.pedantic(_run, args=(scale,), iterations=1, rounds=1)
+    result, _ = timed_run(benchmark, "tables", scale, _run, scale, metrics=_metrics)
     print_report("Tables I, III, IV, V", tables.format_result(result))
     for row in result.table_v:
         assert row.emulated_latency_ms == row.paper_latency_ms

@@ -77,6 +77,12 @@ class CacheOptimizer:
         ``"projected_gradient"`` (default), ``"frank_wolfe"`` or ``"slsqp"``.
     pi_max_iterations:
         Iteration cap handed to the Prob-Pi solver.
+    system:
+        Optional precompiled :class:`VectorizedSystem` to reuse.  Sweeps
+        that solve the same instance for many cache sizes or arrival-rate
+        predictions (Figs. 3 and 4) pass the previous optimizer's system
+        here; it is rebound to ``model`` instead of being recompiled, which
+        skips the pair-array construction at every sweep point.
     """
 
     def __init__(
@@ -87,6 +93,7 @@ class CacheOptimizer:
         rounding_fraction: float = 0.3,
         pi_solver: str = "projected_gradient",
         pi_max_iterations: int = 120,
+        system: Optional[VectorizedSystem] = None,
     ):
         if tolerance <= 0:
             raise OptimizationError("tolerance must be positive")
@@ -95,7 +102,7 @@ class CacheOptimizer:
         if pi_solver not in {"projected_gradient", "frank_wolfe", "slsqp"}:
             raise OptimizationError(f"unknown Prob-Pi solver {pi_solver!r}")
         self._model = model
-        self._system = VectorizedSystem(model)
+        self._system = system.rebind(model) if system is not None else VectorizedSystem(model)
         self._tolerance = float(tolerance)
         self._max_outer_iterations = int(max_outer_iterations)
         self._rounding_fraction = float(rounding_fraction)

@@ -33,6 +33,120 @@ from repro.exceptions import InfeasibleError, OptimizationError
 _RHO_CLAMP = 1.0 - 1e-7
 
 
+def _piecewise_clip_sum_inverse(
+    values: np.ndarray,
+    segment_counts: np.ndarray,
+    targets: np.ndarray,
+) -> np.ndarray:
+    """Solve ``sum_j clip(v_j + theta_s, 0, 1) = t_s`` for every segment.
+
+    ``values`` holds the concatenated per-segment coordinates (segments are
+    contiguous, with ``segment_counts[s]`` entries each) and ``targets`` the
+    per-segment right-hand sides, pre-clamped to ``[0, n_s]``.  The map
+    ``theta -> sum_j clip(v_j + theta)`` is piecewise linear and
+    non-decreasing with breakpoints at ``-v_j`` (coordinate leaves the lower
+    clip) and ``1 - v_j`` (coordinate saturates), so the exact root is found
+    by sorting the ``2 n_s`` breakpoints, accumulating the function value at
+    each one, and interpolating inside the bracketing linear piece -- no
+    iterative bisection.  Everything is segmented: one ``lexsort`` and a few
+    cumulative sums solve all segments at once.
+    """
+    num_segments = segment_counts.size
+    total = values.size
+    width = int(segment_counts[0]) if num_segments else 0
+    if num_segments and np.all(segment_counts == width):
+        # Uniform-width fast path (the common case: every file is stored on
+        # the same number of nodes): one per-row argsort over a
+        # (segments, 2*width) matrix instead of a global lexsort.
+        value_rows = values.reshape(num_segments, width)
+        row_breaks = np.concatenate([-value_rows, 1.0 - value_rows], axis=1)
+        row_slopes = np.concatenate(
+            [np.ones((num_segments, width)), -np.ones((num_segments, width))], axis=1
+        )
+        order = np.argsort(row_breaks, axis=1)
+        row_breaks = np.take_along_axis(row_breaks, order, axis=1)
+        row_slopes = np.take_along_axis(row_slopes, order, axis=1)
+        active = np.cumsum(row_slopes, axis=1)
+        f = np.zeros_like(row_breaks)
+        f[:, 1:] = np.cumsum(
+            active[:, :-1] * (row_breaks[:, 1:] - row_breaks[:, :-1]), axis=1
+        )
+        position = np.sum(f < targets[:, None], axis=1)
+        rows = np.arange(num_segments)
+        high = np.clip(position, 0, 2 * width - 1)
+        low = np.clip(position - 1, 0, 2 * width - 1)
+        f_high = f[rows, high]
+        f_low = f[rows, low]
+        e_high = row_breaks[rows, high]
+        e_low = row_breaks[rows, low]
+        denominator = f_high - f_low
+        safe = denominator > 0.0
+        theta = np.where(
+            safe,
+            e_high
+            - (f_high - targets) * (e_high - e_low) / np.where(safe, denominator, 1.0),
+            e_high,
+        )
+        at_start = position <= 0
+        past_end = position >= 2 * width
+        theta[at_start] = row_breaks[at_start, 0]
+        theta[past_end] = row_breaks[past_end, -1]
+        return theta
+
+    segments = np.repeat(np.arange(num_segments), segment_counts)
+
+    breakpoints = np.concatenate([-values, 1.0 - values])
+    slopes = np.concatenate([np.ones(total), -np.ones(total)])
+    break_segments = np.concatenate([segments, segments])
+    order = np.lexsort((breakpoints, break_segments))
+    breakpoints = breakpoints[order]
+    slopes = slopes[order]
+
+    counts = segment_counts * 2
+    ends = np.cumsum(counts)
+    offsets = ends - counts
+
+    # Active-coordinate count after each breakpoint (segmented cumsum).
+    cumulative_slope = np.cumsum(slopes)
+    slope_base = np.concatenate([[0.0], cumulative_slope[ends[:-1] - 1]])
+    active = cumulative_slope - np.repeat(slope_base, counts)
+
+    # Function value at each breakpoint: f[m] = f[m-1] + active[m-1] * gap.
+    increments = np.zeros_like(breakpoints)
+    increments[1:] = active[:-1] * (breakpoints[1:] - breakpoints[:-1])
+    increments[offsets] = 0.0
+    cumulative_f = np.cumsum(increments)
+    f_base = np.concatenate([[0.0], cumulative_f[ends[:-1] - 1]])
+    f = cumulative_f - np.repeat(f_base, counts)
+
+    # Segmented searchsorted: shift every segment's (non-decreasing) f range
+    # into its own disjoint band so one flat searchsorted finds, for every
+    # segment, the first breakpoint with f >= t.
+    band = float(segment_counts.max()) + 2.0
+    bands = np.arange(num_segments) * band
+    flat_f = f + np.repeat(bands, counts)
+    insert = np.searchsorted(flat_f, targets + bands, side="left")
+    position = insert - offsets
+
+    high = np.clip(insert, 0, breakpoints.size - 1)
+    low = np.clip(insert - 1, 0, breakpoints.size - 1)
+    denominator = f[high] - f[low]
+    safe = denominator > 0.0
+    theta = np.where(
+        safe,
+        breakpoints[high]
+        - (f[high] - targets)
+        * (breakpoints[high] - breakpoints[low])
+        / np.where(safe, denominator, 1.0),
+        breakpoints[high],
+    )
+    at_start = position <= 0
+    past_end = position >= counts
+    theta[at_start] = breakpoints[offsets[at_start]]
+    theta[past_end] = breakpoints[ends[past_end] - 1]
+    return theta
+
+
 class VectorizedSystem:
     """Array-based view of a storage-system model for fast optimization.
 
@@ -89,6 +203,42 @@ class VectorizedSystem:
             dtype=float,
         )
 
+        # The pair arrays are built file by file, so ``pair_file`` is sorted
+        # and every file owns one contiguous segment: per-file reductions run
+        # as ``np.add.reduceat`` over these offsets, which is considerably
+        # faster than ``np.bincount`` with weights in the solver's inner
+        # loop (projection bisections call ``file_sums`` hundreds of times
+        # per solve).  Per-pair gathers of static file quantities are cached
+        # here once instead of being re-gathered on every objective call.
+        pair_counts = np.bincount(self.pair_file, minlength=self.num_files)
+        self._file_segments_contiguous = bool(pair_counts.min() > 0)
+        self._file_offsets = np.concatenate(
+            [[0], np.cumsum(pair_counts)[:-1]]
+        ).astype(np.int64)
+        self.pair_weights = self.weights[self.pair_file]
+        self.pair_rates = self.arrival_rates[self.pair_file]
+        # Fingerprint of the placement structure, used by rebind() to refuse
+        # models whose (file, node) pairs differ from the compiled arrays.
+        self._placement_signature = tuple(spec.placement for spec in files)
+
+    # ------------------------------------------------------------------
+    # Per-file segmented reductions
+    # ------------------------------------------------------------------
+
+    def _file_sum(self, values: np.ndarray) -> np.ndarray:
+        """Per-file sums of a pair vector (segmented ``reduceat`` fast path)."""
+        if self._file_segments_contiguous:
+            return np.add.reduceat(values, self._file_offsets)
+        return np.bincount(self.pair_file, weights=values, minlength=self.num_files)
+
+    def _file_max(self, values: np.ndarray) -> np.ndarray:
+        """Per-file maxima of a pair vector."""
+        if self._file_segments_contiguous:
+            return np.maximum.reduceat(values, self._file_offsets)
+        result = np.full(self.num_files, -np.inf)
+        np.maximum.at(result, self.pair_file, values)
+        return result
+
     # ------------------------------------------------------------------
     # Conversions between flat vectors and SolutionState
     # ------------------------------------------------------------------
@@ -97,6 +247,62 @@ class VectorizedSystem:
     def model(self) -> StorageSystemModel:
         """The underlying model."""
         return self._model
+
+    def set_cache_capacity(self, cache_capacity: float) -> None:
+        """Update the cache capacity without recompiling the pair arrays."""
+        self.cache_capacity = float(cache_capacity)
+
+    def rebind(self, model: StorageSystemModel) -> "VectorizedSystem":
+        """Re-point the compiled system at a structurally identical model.
+
+        Sweeps such as Fig. 3 / Fig. 4 solve the same 1000-file instance for
+        many cache sizes (or re-predicted arrival rates); recompiling the
+        (file, node) pair arrays each time dominates the solve at paper
+        scale.  ``rebind`` refreshes everything that is cheap to recompute
+        -- arrival rates, weights, service moments, cache capacity -- and
+        keeps the pair structure, which must be unchanged: same files in
+        the same order with the same placements on the same node set.
+        """
+        files = model.files
+        if (
+            len(files) != self.num_files
+            or len(model.node_ids) != self.num_nodes
+            or model.node_ids != self._node_ids
+        ):
+            raise OptimizationError(
+                "rebind requires a model with the same files and node set"
+            )
+        if tuple(spec.placement for spec in files) != self._placement_signature:
+            raise OptimizationError("rebind requires identical chunk placements")
+        self._model = model
+        self.arrival_rates = np.asarray(
+            [spec.arrival_rate for spec in files], dtype=float
+        )
+        total_rate = float(self.arrival_rates.sum())
+        if total_rate <= 0:
+            raise OptimizationError("total arrival rate must be positive")
+        self.weights = self.arrival_rates / total_rate
+        self.k_values = np.asarray([spec.k for spec in files], dtype=float)
+        self.n_values = np.asarray([spec.n for spec in files], dtype=float)
+        self.cache_capacity = float(model.cache_capacity)
+        self.mu = np.asarray(
+            [model.service(node_id).rate for node_id in self._node_ids], dtype=float
+        )
+        self.gamma2 = np.asarray(
+            [model.service(node_id).second_moment for node_id in self._node_ids],
+            dtype=float,
+        )
+        self.gamma3 = np.asarray(
+            [model.service(node_id).third_moment for node_id in self._node_ids],
+            dtype=float,
+        )
+        self.sigma2 = np.asarray(
+            [model.service(node_id).variance for node_id in self._node_ids],
+            dtype=float,
+        )
+        self.pair_weights = self.weights[self.pair_file]
+        self.pair_rates = self.arrival_rates[self.pair_file]
+        return self
 
     def initial_pi(self) -> np.ndarray:
         """Uniform no-cache starting point ``pi_{i,j} = k_i / n_i``."""
@@ -128,7 +334,7 @@ class VectorizedSystem:
 
     def node_rates(self, pi: np.ndarray) -> np.ndarray:
         """Aggregate chunk arrival rate ``Lambda_j`` at every node."""
-        contributions = self.arrival_rates[self.pair_file] * pi
+        contributions = self.pair_rates * pi
         return np.bincount(self.pair_node, weights=contributions, minlength=self.num_nodes)
 
     def queue_moments(self, node_rates: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -167,10 +373,7 @@ class VectorizedSystem:
         diff = mean[self.pair_node] - z[self.pair_file]
         root = np.sqrt(diff * diff + variance[self.pair_node])
         pair_terms = 0.5 * pi * (diff + root)
-        bounds = z + np.bincount(
-            self.pair_file, weights=pair_terms, minlength=self.num_files
-        )
-        return bounds
+        return z + self._file_sum(pair_terms)
 
     def objective(self, pi: np.ndarray, z: np.ndarray) -> float:
         """The weighted latency objective of Eq. (6)."""
@@ -193,11 +396,9 @@ class VectorizedSystem:
         root = np.sqrt(diff * diff + variance[self.pair_node])
         safe_root = np.where(root > 0.0, root, 1.0)
 
-        pair_weights = self.weights[self.pair_file]
+        pair_weights = self.pair_weights
         pair_terms = 0.5 * pi * (diff + root)
-        bounds = z + np.bincount(
-            self.pair_file, weights=pair_terms, minlength=self.num_files
-        )
+        bounds = z + self._file_sum(pair_terms)
         objective = float(np.dot(self.weights, bounds))
 
         direct = pair_weights * 0.5 * (diff + root)
@@ -212,7 +413,7 @@ class VectorizedSystem:
             self.pair_node, weights=d_bound_d_var, minlength=self.num_nodes
         )
 
-        coupling = self.arrival_rates[self.pair_file] * (
+        coupling = self.pair_rates * (
             sensitivity_mean[self.pair_node] * d_mean[self.pair_node]
             + sensitivity_var[self.pair_node] * d_var[self.pair_node]
         )
@@ -237,9 +438,9 @@ class VectorizedSystem:
 
         upper_candidate = pair_mean + np.sqrt(np.maximum(pair_var, 0.0))
         active = pi > 0.0
-        upper = np.zeros(self.num_files)
-        np.maximum.at(upper, self.pair_file[active], upper_candidate[active])
-        upper = np.maximum(upper, 1e-12)
+        upper = np.maximum(
+            self._file_max(np.where(active, upper_candidate, 0.0)), 1e-12
+        )
 
         lower = np.zeros(self.num_files)
 
@@ -248,9 +449,7 @@ class VectorizedSystem:
             root = np.sqrt(diff * diff + pair_var)
             safe_root = np.where(root > 0.0, root, 1.0)
             terms = 0.5 * pi * (1.0 + np.where(root > 0.0, diff / safe_root, 0.0))
-            return 1.0 - np.bincount(
-                self.pair_file, weights=terms, minlength=self.num_files
-            )
+            return 1.0 - self._file_sum(terms)
 
         # Files whose derivative at z=0 is already non-negative sit at z=0.
         at_zero = derivative(np.zeros(self.num_files)) >= 0.0
@@ -278,7 +477,7 @@ class VectorizedSystem:
 
     def file_sums(self, pi: np.ndarray) -> np.ndarray:
         """Per-file totals ``s_i = sum_j pi_{i,j}``."""
-        return np.bincount(self.pair_file, weights=pi, minlength=self.num_files)
+        return self._file_sum(pi)
 
     def cache_allocation(self, pi: np.ndarray) -> np.ndarray:
         """Per-file cache allocations ``d_i = k_i - s_i`` (possibly fractional)."""
@@ -324,7 +523,9 @@ class VectorizedSystem:
         total for a trial ``nu`` has the closed form
         ``sum_i clamp(sum_j clip(pi_{i,j} + nu, 0, 1), K_L,i, K_U,i)``, so
         the outer bisection never needs the (more expensive) per-file
-        multipliers; those are computed only once, for the final ``nu``.
+        multipliers; those are solved only once, for the final ``nu``, by
+        the exact segmented breakpoint solver
+        :func:`_piecewise_clip_sum_inverse` (no inner bisection loops).
         """
         lower_sums = np.asarray(lower_sums, dtype=float)
         upper_sums = np.asarray(upper_sums, dtype=float)
@@ -340,6 +541,7 @@ class VectorizedSystem:
             fixed_values = np.zeros(self.num_pairs, dtype=float)
 
         target_total = self.required_total()
+        work = np.empty_like(pi)
 
         def clipped(values: np.ndarray) -> np.ndarray:
             result = np.clip(values, 0.0, 1.0)
@@ -348,43 +550,53 @@ class VectorizedSystem:
             return result
 
         def projected_total(nu: float) -> float:
-            sums = self.file_sums(clipped(pi + nu))
-            return float(np.clip(sums, lower_sums, upper_sums).sum())
+            # Buffer-reusing fast path: this runs ~40 times per projection
+            # inside the bisection, so it avoids fresh allocations.
+            np.add(pi, nu, out=work)
+            np.clip(work, 0.0, 1.0, out=work)
+            if any_fixed:
+                work[fixed_mask] = fixed_values[fixed_mask]
+            sums = self._file_sum(work)
+            np.clip(sums, lower_sums, upper_sums, out=sums)
+            return float(sums.sum())
 
         def per_file_projection(values: np.ndarray) -> np.ndarray:
             projected = clipped(values)
             sums = self.file_sums(projected)
             below = sums < lower_sums - 1e-12
             above = sums > upper_sums + 1e-12
-            if not np.any(below) and not np.any(above):
-                return projected
-            # Per-file shift theta_i with x = clip(v + theta_i); the sum is
-            # monotone in theta_i so a vectorised bisection over the
-            # violating files recovers the exact per-file projection.
             needs_shift = below | above
-            theta_low = np.where(above, -2.0, 0.0)
-            theta_high = np.where(below, 2.0, 0.0)
+            if not np.any(needs_shift):
+                return projected
+            # Per-file shift theta_i with x = clip(v + theta_i); the shift
+            # only moves the non-fixed coordinates, so fixed contributions
+            # are subtracted from the targets and excluded from the solve.
+            free_mask = needs_shift[self.pair_file]
             targets = np.where(below, lower_sums, upper_sums)
-            for _ in range(30):
-                shifted = clipped(values + theta_high[self.pair_file])
-                still_below = below & (self.file_sums(shifted) < targets - 1e-12)
-                if not np.any(still_below):
-                    break
-                theta_high[still_below] *= 2.0
-            for _ in range(30):
-                shifted = clipped(values + theta_low[self.pair_file])
-                still_above = above & (self.file_sums(shifted) > targets + 1e-12)
-                if not np.any(still_above):
-                    break
-                theta_low[still_above] *= 2.0
-            for _ in range(40):
-                theta_mid = 0.5 * (theta_low + theta_high)
-                sums_mid = self.file_sums(clipped(values + theta_mid[self.pair_file]))
-                go_up = sums_mid < targets
-                theta_low = np.where(needs_shift & go_up, theta_mid, theta_low)
-                theta_high = np.where(needs_shift & ~go_up, theta_mid, theta_high)
-            theta = np.where(needs_shift, 0.5 * (theta_low + theta_high), 0.0)
-            return clipped(values + theta[self.pair_file])
+            if any_fixed:
+                free_mask &= ~fixed_mask
+                fixed_contribution = self._file_sum(
+                    np.where(fixed_mask, fixed_values, 0.0)
+                )
+                targets = targets - fixed_contribution
+            free_counts = np.bincount(
+                self.pair_file[free_mask], minlength=self.num_files
+            )
+            needs_shift &= free_counts > 0
+            free_mask &= needs_shift[self.pair_file]
+            violating = np.flatnonzero(needs_shift)
+            if violating.size == 0:
+                return projected
+            segment_counts = free_counts[violating]
+            segment_targets = np.clip(
+                targets[violating], 0.0, segment_counts.astype(float)
+            )
+            theta = _piecewise_clip_sum_inverse(
+                values[free_mask], segment_counts, segment_targets
+            )
+            shift = np.zeros(self.num_files)
+            shift[violating] = theta
+            return clipped(values + shift[self.pair_file])
 
         if target_total <= projected_total(0.0) + 1e-9:
             return per_file_projection(pi)
@@ -403,7 +615,7 @@ class VectorizedSystem:
             if projected_total(nu_high) >= target_total - 1e-9:
                 break
             nu_high *= 2.0
-        for _ in range(50):
+        while nu_high - nu_low > 1e-11 * max(1.0, nu_high):
             nu_mid = 0.5 * (nu_low + nu_high)
             if projected_total(nu_mid) < target_total:
                 nu_low = nu_mid

@@ -24,6 +24,7 @@ from repro.cluster.cluster import CephLikeCluster, ClusterConfig
 from repro.cluster.devices import chunk_size_for_object, hdd_service_for_chunk_size
 from repro.core.algorithm import CacheOptimizer
 from repro.core.model import FileSpec, StorageSystemModel
+from repro.simulation.simulator import SimulationConfig, StorageSimulator
 from repro.workloads.traces import TABLE_III_WORKLOAD, table_iii_arrival_rates
 
 
@@ -37,6 +38,7 @@ class ObjectSizeComparison:
     analytical_bound_ms: float
     cache_hit_ratio_baseline: float
     chunks_cached: int
+    simulated_latency_ms: Optional[float] = None
 
     @property
     def improvement(self) -> float:
@@ -113,8 +115,15 @@ def run_for_object_size(
     rate_scale: float = 1.0,
     seed: int = 2016,
     tolerance: float = 0.5,
+    simulate: bool = False,
+    engine: str = "batch",
 ) -> ObjectSizeComparison:
-    """Run the Fig. 10 comparison for a single object size."""
+    """Run the Fig. 10 comparison for a single object size.
+
+    With ``simulate=True`` the optimized placement is additionally replayed
+    through the fork-join storage simulator (``engine`` picks the event or
+    batch engine) as a cross-check of the analytical bound.
+    """
     arrival_rates = table_iii_arrival_rates(
         object_size_mb, num_objects, rate_scale=rate_scale
     )
@@ -144,6 +153,16 @@ def run_for_object_size(
         arrival_rates, duration_s, mode="baseline", seed=seed
     )
 
+    simulated_latency: Optional[float] = None
+    if simulate:
+        simulator = StorageSimulator(model, placement, engine=engine)
+        sim_config = SimulationConfig(
+            horizon=duration_s * 1000.0,
+            seed=seed,
+            warmup=duration_s * 100.0,
+        )
+        simulated_latency = simulator.run(sim_config).mean_latency()
+
     hits = baseline_result.cache_hits
     misses = baseline_result.cache_misses
     hit_ratio = hits / (hits + misses) if hits + misses else 0.0
@@ -154,6 +173,7 @@ def run_for_object_size(
         analytical_bound_ms=placement.objective,
         cache_hit_ratio_baseline=hit_ratio,
         chunks_cached=placement.total_cached_chunks,
+        simulated_latency_ms=simulated_latency,
     )
 
 
@@ -164,6 +184,8 @@ def run(
     duration_s: float = 1800.0,
     rate_scale: float = 1.0,
     seed: int = 2016,
+    simulate: bool = False,
+    engine: str = "batch",
 ) -> Fig10Result:
     """Run the full Fig. 10 object-size sweep."""
     if object_sizes_mb is None:
@@ -178,6 +200,8 @@ def run(
                 duration_s=duration_s,
                 rate_scale=rate_scale,
                 seed=seed,
+                simulate=simulate,
+                engine=engine,
             )
         )
     return result

@@ -9,14 +9,16 @@ average, with the absolute gap widening as the load grows.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.cluster.cluster import CephLikeCluster, ClusterConfig
 from repro.core.algorithm import CacheOptimizer
 from repro.experiments.fig10_object_sizes import _analytical_model
+from repro.simulation.simulator import SimulationConfig, StorageSimulator
 from repro.workloads.traces import aggregate_rate_to_per_object
 
 
@@ -29,6 +31,7 @@ class ArrivalRateComparison:
     baseline_latency_ms: float
     analytical_bound_ms: float
     chunks_cached: int
+    simulated_latency_ms: Optional[float] = None
 
     @property
     def improvement(self) -> float:
@@ -72,6 +75,8 @@ def run_for_rate(
     seed: int = 2016,
     tolerance: float = 0.5,
     rate_divisor: float = 1.0,
+    simulate: bool = False,
+    engine: str = "batch",
 ) -> ArrivalRateComparison:
     """Run the Fig. 11 comparison for one aggregate arrival rate.
 
@@ -84,6 +89,10 @@ def run_for_rate(
         16 MB chunks (about 148 ms per read, Table IV), so even the highest
         sweep point keeps the 12 single-queue OSDs inside their stability
         region while clearly showing queueing growth with load.
+    simulate:
+        Also replay the optimized placement through the fork-join storage
+        simulator (``engine`` selects the event or batch engine) and record
+        the simulated mean latency as a cross-check of the analytical bound.
     """
     arrival_rates = aggregate_rate_to_per_object(
         aggregate_rate / rate_divisor, num_objects
@@ -111,12 +120,23 @@ def run_for_rate(
         arrival_rates, duration_s, mode="baseline", seed=seed
     )
 
+    simulated_latency: Optional[float] = None
+    if simulate:
+        simulator = StorageSimulator(model, placement, engine=engine)
+        sim_config = SimulationConfig(
+            horizon=duration_s * 1000.0,
+            seed=seed,
+            warmup=duration_s * 100.0,
+        )
+        simulated_latency = simulator.run(sim_config).mean_latency()
+
     return ArrivalRateComparison(
         aggregate_rate=aggregate_rate,
         optimal_latency_ms=optimal_result.mean_latency_ms(),
         baseline_latency_ms=baseline_result.mean_latency_ms(),
         analytical_bound_ms=placement.objective,
         chunks_cached=placement.total_cached_chunks,
+        simulated_latency_ms=simulated_latency,
     )
 
 
@@ -128,6 +148,8 @@ def run(
     duration_s: float = 1800.0,
     seed: int = 2016,
     rate_divisor: float = 1.0,
+    simulate: bool = False,
+    engine: str = "batch",
 ) -> Fig11Result:
     """Run the full Fig. 11 workload-intensity sweep."""
     result = Fig11Result(
@@ -145,9 +167,97 @@ def run(
                 duration_s=duration_s,
                 seed=seed,
                 rate_divisor=rate_divisor,
+                simulate=simulate,
+                engine=engine,
             )
         )
     return result
+
+
+@dataclass
+class EngineSpeedup:
+    """Timing comparison of the two simulation engines on one workload."""
+
+    aggregate_rate: float
+    num_objects: int
+    requests: int
+    event_seconds: float
+    batch_seconds: float
+    event_mean_latency_ms: float
+    batch_mean_latency_ms: float
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock speedup of the batch engine over the event engine."""
+        if self.batch_seconds <= 0:
+            return float("inf")
+        return self.event_seconds / self.batch_seconds
+
+    @property
+    def latency_relative_gap(self) -> float:
+        """Relative difference of the two engines' mean latencies."""
+        if self.event_mean_latency_ms <= 0:
+            return 0.0
+        return abs(
+            self.batch_mean_latency_ms - self.event_mean_latency_ms
+        ) / self.event_mean_latency_ms
+
+    def requests_per_second(self, engine: str) -> float:
+        """Simulated requests processed per wall-clock second."""
+        seconds = self.event_seconds if engine == "event" else self.batch_seconds
+        if seconds <= 0:
+            return float("inf")
+        return self.requests / seconds
+
+
+def measure_engine_speedup(
+    aggregate_rate: float = 8.0,
+    object_size_mb: int = 64,
+    num_objects: int = 400,
+    cache_capacity_mb: int = 10 * 1024,
+    duration_s: float = 1800.0,
+    seed: int = 2016,
+    tolerance: float = 0.5,
+) -> EngineSpeedup:
+    """Time the event vs batch engines on the Fig. 11 simulation workload.
+
+    Builds the same analytical model Fig. 11 optimizes, then replays the
+    optimized placement through both simulation engines under identical
+    configurations and reports wall-clock times and mean latencies.  Used by
+    the benchmark suite to track the batch-engine speedup across revisions.
+    """
+    arrival_rates = aggregate_rate_to_per_object(aggregate_rate, num_objects)
+    config = ClusterConfig(
+        object_size_mb=object_size_mb,
+        cache_capacity_mb=cache_capacity_mb,
+        seed=seed,
+    )
+    cluster = CephLikeCluster(config)
+    model = _analytical_model(cluster, arrival_rates, config)
+    placement = CacheOptimizer(model, tolerance=tolerance).optimize().placement
+    sim_config = SimulationConfig(
+        horizon=duration_s * 1000.0,
+        seed=seed,
+        warmup=duration_s * 100.0,
+    )
+
+    start = time.perf_counter()
+    event_result = StorageSimulator(model, placement, engine="event").run(sim_config)
+    event_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch_result = StorageSimulator(model, placement, engine="batch").run(sim_config)
+    batch_seconds = time.perf_counter() - start
+
+    return EngineSpeedup(
+        aggregate_rate=aggregate_rate,
+        num_objects=num_objects,
+        requests=event_result.requests_completed,
+        event_seconds=event_seconds,
+        batch_seconds=batch_seconds,
+        event_mean_latency_ms=event_result.mean_latency(),
+        batch_mean_latency_ms=batch_result.mean_latency(),
+    )
 
 
 def format_result(result: Fig11Result) -> str:

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.algorithm import CacheOptimizer
 from repro.core.bound import SolutionState
+from repro.core.vectorized import VectorizedSystem
 from repro.workloads.defaults import paper_default_model
 
 
@@ -66,16 +67,22 @@ def run(
     """
     result = Fig3Result(num_files=num_files, tolerance=tolerance)
     warm_start: Optional[SolutionState] = None
+    base_model = paper_default_model(
+        num_files=num_files, cache_capacity=cache_sizes[0], seed=seed
+    )
+    system: Optional[VectorizedSystem] = None
     for cache_size in cache_sizes:
-        model = paper_default_model(
-            num_files=num_files, cache_capacity=cache_size, seed=seed
-        )
+        # One model instance and one compiled system serve the whole sweep:
+        # only the cache capacity changes between the sizes.
+        model = base_model.copy_with_cache_capacity(cache_size)
         optimizer = CacheOptimizer(
             model,
             tolerance=tolerance,
             pi_max_iterations=pi_max_iterations,
             rounding_fraction=rounding_fraction,
+            system=system,
         )
+        system = optimizer.system
         outcome = optimizer.optimize(initial_state=warm_start)
         result.curves.append(
             ConvergenceCurve(

@@ -8,6 +8,14 @@ distribution over sets exists whenever ``sum_j pi_{i,j} = k_i - d_i`` and
 Appendix B).  *Systematic sampling* realises those marginals exactly: lay
 the probabilities end-to-end on a circle of circumference ``k - d`` and pick
 the items hit by a uniformly-offset grid of unit spacing.
+
+Two entry points expose the sampler:
+
+* :func:`systematic_inclusion_sample` draws one set and returns a Python
+  list -- the API used by the event-driven simulator's per-request path.
+* :func:`batch_systematic_inclusion_sample` draws one set per *row* of a
+  probability matrix in a single vectorised pass -- the hot path of the
+  batched simulation engine, which samples all of a file's requests at once.
 """
 
 from __future__ import annotations
@@ -17,6 +25,118 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import SimulationError
+
+
+def _validated_probs(probabilities: np.ndarray) -> np.ndarray:
+    if np.any(probabilities < -1e-9) or np.any(probabilities > 1.0 + 1e-9):
+        raise SimulationError("inclusion probabilities must lie in [0, 1]")
+    return np.clip(probabilities, 0.0, 1.0)
+
+
+def batch_systematic_inclusion_sample(
+    probability_rows: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw one inclusion set per row of ``probability_rows``, vectorised.
+
+    Parameters
+    ----------
+    probability_rows:
+        Array of shape ``(num_draws, num_keys)``; every row holds inclusion
+        probabilities in ``[0, 1]`` summing (numerically) to the same
+        integer ``size``.  A 1-D array is treated as a single row.
+    rng:
+        Numpy random generator.
+
+    Returns
+    -------
+    ndarray of shape ``(num_draws, size)``
+        Column positions (indices into each row) of the selected keys; the
+        entries of each output row are distinct and key ``j`` appears in row
+        ``r`` with probability ``probability_rows[r, j]``.
+
+    Notes
+    -----
+    Each row is independently shuffled (removing the correlation structure
+    systematic sampling imposes between adjacent keys) and sampled with its
+    own uniform grid offset.  The per-row ``searchsorted`` is flattened into
+    one global call by shifting row ``r``'s cumulative probabilities and
+    grid by ``r * (size + 1)``: the gap of 1 between consecutive rows'
+    ranges guarantees no grid point of one row can land in another row's
+    cumulative range, even for a zero offset.
+    """
+    probs = np.asarray(probability_rows, dtype=float)
+    squeeze = probs.ndim == 1
+    if squeeze:
+        probs = probs[None, :]
+    if probs.ndim != 2:
+        raise SimulationError("probability_rows must be 1-D or 2-D")
+    probs = _validated_probs(probs)
+    num_draws, num_keys = probs.shape
+    totals = probs.sum(axis=1)
+    size = int(round(float(totals[0]))) if num_draws else 0
+    if num_draws and np.any(np.abs(totals - size) > 1e-6):
+        raise SimulationError(
+            "inclusion probabilities must sum to one common integer per row"
+        )
+    if size == 0 or num_draws == 0:
+        return np.empty((num_draws, 0) if not squeeze else (0,), dtype=np.int64)
+
+    # Independent per-row random orderings via argsort of uniforms.
+    order = rng.random((num_draws, num_keys)).argsort(axis=1)
+    shuffled = np.take_along_axis(probs, order, axis=1)
+    cumulative = np.cumsum(shuffled, axis=1)
+    # Rescale so each row's total is exactly `size` despite rounding.
+    cumulative *= size / cumulative[:, -1:]
+    grid = rng.random((num_draws, 1)) + np.arange(size, dtype=float)
+
+    # Flatten the per-row searchsorted: row r's values live in
+    # (r*(size+1), r*(size+1)+size], its grid in [r*(size+1), r*(size+1)+size).
+    row_base = (np.arange(num_draws, dtype=float) * (size + 1))[:, None]
+    flat_cumulative = (cumulative + row_base).ravel()
+    flat_grid = (grid + row_base).ravel()
+    flat_positions = np.searchsorted(flat_cumulative, flat_grid, side="right")
+    positions = flat_positions.reshape(num_draws, size) - (
+        np.arange(num_draws)[:, None] * num_keys
+    )
+    np.clip(positions, 0, num_keys - 1, out=positions)
+    selected = np.take_along_axis(order, positions, axis=1)
+    if squeeze:
+        return selected[0]
+    return selected
+
+
+def systematic_inclusion_sample_array(
+    probabilities: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw one set; returns the selected positions as an int array.
+
+    Array-native single-draw variant of :func:`systematic_inclusion_sample`:
+    no Python-list round-trips, used by the schedulers' hot path.  Includes
+    the rare-tie completion: should floating-point ties ever collapse two
+    grid points onto one key, the set is completed with the highest-
+    probability unselected keys so its size is always exact.
+    """
+    probs = _validated_probs(np.asarray(probabilities, dtype=float))
+    total = float(probs.sum())
+    size = int(round(total))
+    if size == 0:
+        return np.empty(0, dtype=np.int64)
+    if abs(total - size) > 1e-6:
+        raise SimulationError(
+            f"inclusion probabilities must sum to an integer, got {total:.6f}"
+        )
+    selected = np.unique(batch_systematic_inclusion_sample(probs, rng))
+    if selected.size != size:
+        # Extremely rare numerical tie; complete the set with the highest
+        # remaining probabilities to preserve the set size.
+        remaining_mask = np.ones(probs.size, dtype=bool)
+        remaining_mask[selected] = False
+        remaining = np.flatnonzero(remaining_mask)
+        best = remaining[np.argsort(probs[remaining])[::-1][: size - selected.size]]
+        selected = np.concatenate([selected, best])
+    return selected
 
 
 def systematic_inclusion_sample(
@@ -44,42 +164,10 @@ def systematic_inclusion_sample(
     """
     if len(keys) != len(probabilities):
         raise SimulationError("keys and probabilities must have equal length")
-    probs = np.asarray(probabilities, dtype=float)
-    if np.any(probs < -1e-9) or np.any(probs > 1.0 + 1e-9):
-        raise SimulationError("inclusion probabilities must lie in [0, 1]")
-    probs = np.clip(probs, 0.0, 1.0)
-    total = float(probs.sum())
-    size = int(round(total))
-    if size == 0:
-        return []
-    if abs(total - size) > 1e-6:
-        raise SimulationError(
-            f"inclusion probabilities must sum to an integer, got {total:.6f}"
-        )
-    # Random ordering removes the correlation structure systematic sampling
-    # would otherwise impose between adjacent keys.
-    order = rng.permutation(len(probs))
-    shuffled = probs[order]
-    cumulative = np.concatenate([[0.0], np.cumsum(shuffled)])
-    # Rescale so the cumulative total is exactly `size` despite rounding.
-    cumulative *= size / cumulative[-1]
-    offset = rng.uniform(0.0, 1.0)
-    grid = offset + np.arange(size)
-    selected_positions = np.searchsorted(cumulative, grid, side="right") - 1
-    selected_positions = np.unique(np.clip(selected_positions, 0, len(probs) - 1))
-    selected = [keys[order[position]] for position in selected_positions]
-    if len(selected) != size:
-        # Extremely rare numerical tie; complete the set with the highest
-        # remaining probabilities to preserve the set size.
-        remaining = [key for key in keys if key not in selected]
-        remaining.sort(
-            key=lambda key: probabilities[list(keys).index(key)], reverse=True
-        )
-        for key in remaining:
-            if len(selected) == size:
-                break
-            selected.append(key)
-    return selected
+    positions = systematic_inclusion_sample_array(
+        np.asarray(probabilities, dtype=float), rng
+    )
+    return [keys[int(position)] for position in positions]
 
 
 def sample_node_set(
@@ -92,8 +180,9 @@ def sample_node_set(
     ``round(sum pi)`` distinct nodes.
     """
     keys = list(probabilities.keys())
-    values = [probabilities[key] for key in keys]
-    return systematic_inclusion_sample(keys, values, rng)
+    values = np.fromiter(probabilities.values(), dtype=float, count=len(keys))
+    positions = systematic_inclusion_sample_array(values, rng)
+    return [keys[int(position)] for position in positions]
 
 
 def empirical_inclusion_frequencies(
@@ -103,14 +192,17 @@ def empirical_inclusion_frequencies(
 ) -> Dict[int, float]:
     """Monte-Carlo estimate of the realised inclusion frequencies.
 
-    Used by the test-suite to verify that :func:`sample_node_set` matches the
-    requested marginals.
+    Used by the test-suite to verify that :func:`sample_node_set` (and the
+    batched sampler it shares its core with) matches the requested
+    marginals.  The draws are batched through
+    :func:`batch_systematic_inclusion_sample`.
     """
-    counts = {key: 0 for key in probabilities}
-    for _ in range(draws):
-        for key in sample_node_set(probabilities, rng):
-            counts[key] += 1
-    return {key: counts[key] / draws for key in probabilities}
+    keys = list(probabilities.keys())
+    values = np.fromiter(probabilities.values(), dtype=float, count=len(keys))
+    rows = np.broadcast_to(values, (draws, values.size))
+    selected = batch_systematic_inclusion_sample(rows, rng)
+    counts = np.bincount(selected.ravel(), minlength=len(keys))
+    return {key: counts[position] / draws for position, key in enumerate(keys)}
 
 
 def split_request(

@@ -10,13 +10,18 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.placement import CachePlacement
 from repro.exceptions import SimulationError
-from repro.scheduling.sampling import sample_node_set
+from repro.scheduling.sampling import systematic_inclusion_sample_array
+
+#: Anything ``numpy.random.default_rng`` accepts as a seed, including a
+#: ``SeedSequence`` spawned by the simulator so that all of a run's random
+#: streams derive from one root seed.
+SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
 
 
 @dataclass
@@ -68,7 +73,7 @@ class ProbabilisticScheduler:
         cached_chunks: Dict[str, int],
         probabilities: Dict[str, Dict[int, float]],
         k_values: Dict[str, int],
-        seed: Optional[int] = None,
+        seed: SeedLike = None,
     ):
         self._cached_chunks = dict(cached_chunks)
         self._probabilities = {
@@ -78,10 +83,18 @@ class ProbabilisticScheduler:
         self._rng = np.random.default_rng(seed)
         self._request_counter = itertools.count()
         self._validate()
+        # Per-file (node-id array, probability array) pairs, precomputed once
+        # so the per-request dispatch path never rebuilds them from dicts.
+        self._node_arrays: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        for file_id in self._k_values:
+            node_probs = self._probabilities.get(file_id, {})
+            node_ids = np.fromiter(node_probs.keys(), dtype=np.int64, count=len(node_probs))
+            probs = np.fromiter(node_probs.values(), dtype=float, count=len(node_probs))
+            self._node_arrays[file_id] = (node_ids, probs)
 
     @classmethod
     def from_placement(
-        cls, placement: CachePlacement, seed: Optional[int] = None
+        cls, placement: CachePlacement, seed: SeedLike = None
     ) -> "ProbabilisticScheduler":
         """Build a scheduler directly from an optimized cache placement."""
         cached = placement.cached_chunks()
@@ -112,14 +125,33 @@ class ProbabilisticScheduler:
         """Number of functional chunks of ``file_id`` currently in the cache."""
         return self._cached_chunks.get(file_id, 0)
 
+    @property
+    def file_ids(self) -> List[str]:
+        """All file ids the scheduler knows about."""
+        return list(self._k_values)
+
+    def k_for(self, file_id: str) -> int:
+        """``k_i`` of one file."""
+        return self._k_values[file_id]
+
+    def node_probability_arrays(self, file_id: str) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-file ``(node_ids, probabilities)`` arrays (the batch-engine view)."""
+        if file_id not in self._node_arrays:
+            raise SimulationError(f"unknown file id {file_id!r}")
+        return self._node_arrays[file_id]
+
     def dispatch(self, file_id: str, arrival_time: float) -> FileRequest:
         """Split a file request into cache accesses and storage chunk requests."""
         if file_id not in self._k_values:
             raise SimulationError(f"unknown file id {file_id!r}")
         k = self._k_values[file_id]
         d = self._cached_chunks.get(file_id, 0)
-        probabilities = self._probabilities.get(file_id, {})
-        storage_nodes = sample_node_set(probabilities, self._rng) if k - d > 0 else []
+        if k - d > 0:
+            node_ids, probs = self._node_arrays[file_id]
+            positions = systematic_inclusion_sample_array(probs, self._rng)
+            storage_nodes = [int(node) for node in node_ids[positions]]
+        else:
+            storage_nodes = []
         if len(storage_nodes) != k - d:
             raise SimulationError(
                 f"file {file_id}: sampled {len(storage_nodes)} storage nodes, "

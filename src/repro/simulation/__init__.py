@@ -12,8 +12,10 @@ from repro.simulation.metrics import LatencyMetrics, SlotCounter
 from repro.simulation.arrivals import (
     NonHomogeneousPoissonArrivals,
     PoissonArrivalProcess,
+    generate_request_arrays,
     merge_arrival_streams,
 )
+from repro.simulation.batch import run_batch_simulation
 from repro.simulation.simulator import SimulationConfig, SimulationResult, StorageSimulator
 
 __all__ = [
@@ -26,6 +28,8 @@ __all__ = [
     "PoissonArrivalProcess",
     "NonHomogeneousPoissonArrivals",
     "merge_arrival_streams",
+    "generate_request_arrays",
+    "run_batch_simulation",
     "StorageSimulator",
     "SimulationConfig",
     "SimulationResult",

@@ -197,3 +197,61 @@ class TestProjection:
         assert np.all(projected >= -1e-9) and np.all(projected <= 1 + 1e-9)
         assert np.all(sums <= upper + 1e-5)
         assert projected.sum() >= system.required_total() - 1e-5
+
+
+class TestRebind:
+    def test_rebind_updates_capacity_and_rates(self, small_model):
+        system = VectorizedSystem(small_model)
+        doubled = small_model.copy_with_arrival_rates(
+            [spec.arrival_rate * 2.0 for spec in small_model.files]
+        ).copy_with_cache_capacity(small_model.cache_capacity + 3)
+        assert system.rebind(doubled) is system
+        assert system.cache_capacity == small_model.cache_capacity + 3
+        assert np.allclose(
+            system.arrival_rates,
+            [spec.arrival_rate * 2.0 for spec in small_model.files],
+        )
+        # Pair aggregations were refreshed alongside the rates.
+        assert np.allclose(system.pair_rates, system.arrival_rates[system.pair_file])
+
+    def test_rebind_rejects_different_placements(self, small_model):
+        from repro.core.model import FileSpec, StorageSystemModel
+        from repro.exceptions import OptimizationError
+
+        system = VectorizedSystem(small_model)
+        files = []
+        for spec in small_model.files:
+            placement = list(spec.placement)
+            placement[0], placement[-1] = placement[-1], placement[0]
+            # Same node multiset per file but rotated order across files
+            # changes the compiled pair structure for at least one file.
+            files.append(
+                FileSpec(
+                    file_id=spec.file_id,
+                    n=spec.n,
+                    k=spec.k,
+                    placement=placement,
+                    arrival_rate=spec.arrival_rate,
+                    chunk_size=spec.chunk_size,
+                )
+            )
+        other = StorageSystemModel(
+            services=small_model.services,
+            files=files,
+            cache_capacity=small_model.cache_capacity,
+        )
+        with pytest.raises(OptimizationError):
+            system.rebind(other)
+
+    def test_rebind_rejects_different_file_count(self, small_model):
+        from repro.core.model import StorageSystemModel
+        from repro.exceptions import OptimizationError
+
+        system = VectorizedSystem(small_model)
+        fewer = StorageSystemModel(
+            services=small_model.services,
+            files=small_model.files[:-1],
+            cache_capacity=small_model.cache_capacity,
+        )
+        with pytest.raises(OptimizationError):
+            system.rebind(fewer)

@@ -1,0 +1,226 @@
+"""Equivalence tests for the batched simulation engine.
+
+The batch engine must be statistically equivalent to the event-driven
+engine: identical seeded runs of either engine are reproducible, and on a
+common workload the two engines agree (within sampling noise) on the mean
+latency, the cache-chunk fraction and the per-node utilisations.  The
+batched systematic sampler must preserve the marginal inclusion
+probabilities it is given.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.static import no_cache_placement
+from repro.core.algorithm import CacheOptimizer
+from repro.exceptions import SimulationError
+from repro.queueing.distributions import EmpiricalMomentsService
+from repro.scheduling.sampling import batch_systematic_inclusion_sample
+from repro.simulation.simulator import SimulationConfig, StorageSimulator
+
+
+@pytest.fixture(scope="module")
+def optimized_placement_factory():
+    """Cache of optimized placements, keyed by model identity."""
+    cache = {}
+
+    def factory(model):
+        key = id(model)
+        if key not in cache:
+            cache[key] = CacheOptimizer(model, tolerance=0.01).optimize().placement
+        return cache[key]
+
+    return factory
+
+
+class TestBatchSampling:
+    def test_rows_have_exact_size_and_distinct_entries(self, rng):
+        probs = np.array([0.5, 0.75, 0.75, 1.0, 0.6, 0.4])  # sums to 4
+        rows = np.broadcast_to(probs, (500, probs.size))
+        selected = batch_systematic_inclusion_sample(rows, rng)
+        assert selected.shape == (500, 4)
+        for row in selected:
+            assert len(set(row.tolist())) == 4
+
+    def test_marginals_preserved(self, rng):
+        probs = np.array([0.9, 0.6, 0.3, 0.2, 0.5, 0.5])  # sums to 3
+        draws = 20000
+        rows = np.broadcast_to(probs, (draws, probs.size))
+        selected = batch_systematic_inclusion_sample(rows, rng)
+        frequencies = np.bincount(selected.ravel(), minlength=probs.size) / draws
+        assert np.allclose(frequencies, probs, atol=0.02)
+
+    def test_heterogeneous_rows(self, rng):
+        # Every row may carry different probabilities (the per-request axis).
+        base = np.array([0.25, 0.75, 0.5, 0.5])  # sums to 2
+        rows = np.stack([np.roll(base, shift) for shift in range(4)] * 2000)
+        selected = batch_systematic_inclusion_sample(rows, rng)
+        assert selected.shape == (8000, 2)
+        # Marginals per row pattern: entry j of pattern s has probability
+        # base[(j - s) % 4].
+        for shift in range(4):
+            rows_of_shift = selected[shift::4]
+            frequencies = np.bincount(rows_of_shift.ravel(), minlength=4) / len(
+                rows_of_shift
+            )
+            assert np.allclose(frequencies, np.roll(base, shift), atol=0.03)
+
+    def test_certain_keys_always_selected(self, rng):
+        probs = np.array([1.0, 0.5, 0.5])
+        rows = np.broadcast_to(probs, (200, 3))
+        selected = batch_systematic_inclusion_sample(rows, rng)
+        assert np.all(np.any(selected == 0, axis=1))
+
+    def test_inconsistent_rows_rejected(self, rng):
+        rows = np.array([[0.5, 0.5], [0.9, 0.7]])  # sums 1.0 and 1.6
+        with pytest.raises(SimulationError):
+            batch_systematic_inclusion_sample(rows, rng)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=3, max_size=8
+        ),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_batch_rows_match_integer_sum(self, values, seed):
+        total = sum(values)
+        target = min(round(total), len(values))
+        diff = target - total
+        values = list(values)
+        values[-1] = min(max(values[-1] + diff, 0.0), 1.0)
+        if abs(sum(values) - target) > 1e-9:
+            return  # adjustment hit the box boundary; skip this example
+        rng = np.random.default_rng(seed)
+        rows = np.broadcast_to(np.asarray(values), (32, len(values)))
+        selected = batch_systematic_inclusion_sample(rows, rng)
+        assert selected.shape == (32, target)
+        for row in selected:
+            assert len(set(row.tolist())) == target
+
+
+class TestBatchEngineEquivalence:
+    def _run(self, model, placement, engine, **config_kwargs):
+        defaults = dict(horizon=150_000.0, seed=7, warmup=5_000.0)
+        defaults.update(config_kwargs)
+        simulator = StorageSimulator(model, placement, engine=engine)
+        return simulator.run(SimulationConfig(**defaults))
+
+    def test_mean_latency_agrees(self, small_model, optimized_placement_factory):
+        placement = optimized_placement_factory(small_model)
+        event = self._run(small_model, placement, "event")
+        batch = self._run(small_model, placement, "batch")
+        assert batch.mean_latency() == pytest.approx(event.mean_latency(), rel=0.06)
+
+    def test_cache_fraction_and_chunk_conservation(
+        self, small_model, optimized_placement_factory
+    ):
+        placement = optimized_placement_factory(small_model)
+        # No warmup: the chunk counters cover every request, so they can be
+        # reconciled exactly against the recorded per-file latencies.
+        event = self._run(small_model, placement, "event", warmup=0.0)
+        batch = self._run(small_model, placement, "batch", warmup=0.0)
+        assert batch.cache_chunk_fraction() == pytest.approx(
+            event.cache_chunk_fraction(), abs=0.01
+        )
+        # Every request contributes exactly k chunks in the batch engine too.
+        per_request_chunks = {spec.file_id: spec.k for spec in small_model.files}
+        total_chunks = batch.chunks_from_cache + batch.chunks_from_storage
+        expected = sum(
+            len(samples) * per_request_chunks[file_id]
+            for file_id, samples in batch.metrics.per_file.items()
+        )
+        assert total_chunks == expected
+        assert sum(batch.per_node_chunks.values()) == batch.chunks_from_storage
+
+    def test_node_utilization_agrees(self, small_model, optimized_placement_factory):
+        placement = optimized_placement_factory(small_model)
+        event = self._run(small_model, placement, "event")
+        batch = self._run(small_model, placement, "batch")
+        for node_id, utilization in event.node_utilization.items():
+            assert batch.node_utilization[node_id] == pytest.approx(
+                utilization, abs=0.03
+            )
+
+    def test_slot_counter_totals_agree(self, small_model, optimized_placement_factory):
+        placement = optimized_placement_factory(small_model)
+        event = self._run(small_model, placement, "event", slot_length=10_000.0)
+        batch = self._run(small_model, placement, "batch", slot_length=10_000.0)
+        assert event.slot_counter is not None and batch.slot_counter is not None
+        assert batch.slot_counter.cache_fraction() == pytest.approx(
+            event.slot_counter.cache_fraction(), abs=0.01
+        )
+        assert batch.slot_counter.total_cache_chunks == batch.chunks_from_cache
+
+    def test_latency_below_analytical_bound(
+        self, small_model, optimized_placement_factory
+    ):
+        placement = optimized_placement_factory(small_model)
+        batch = self._run(small_model, placement, "batch")
+        assert batch.mean_latency() <= placement.objective * 1.05
+
+    def test_cache_service_path(self, small_model, optimized_placement_factory):
+        placement = optimized_placement_factory(small_model)
+        service = EmpiricalMomentsService(mean=0.5, variance=0.05)
+        event = self._run(
+            small_model, placement, "event", cache_service=service, horizon=100_000.0
+        )
+        batch = self._run(
+            small_model, placement, "batch", cache_service=service, horizon=100_000.0
+        )
+        assert batch.mean_latency() == pytest.approx(event.mean_latency(), rel=0.06)
+
+    def test_no_cache_baseline(self, small_model):
+        baseline = no_cache_placement(small_model)
+        batch = self._run(small_model, baseline, "batch")
+        assert batch.chunks_from_cache == 0
+        assert batch.cache_chunk_fraction() == 0.0
+
+
+class TestBatchEngineSeeding:
+    def test_seeded_runs_reproducible(self, small_model, optimized_placement_factory):
+        placement = optimized_placement_factory(small_model)
+        config = SimulationConfig(horizon=20_000.0, seed=42)
+        first = StorageSimulator(small_model, placement, engine="batch").run(config)
+        second = StorageSimulator(small_model, placement, engine="batch").run(config)
+        assert first.mean_latency() == second.mean_latency()
+        assert first.chunks_from_cache == second.chunks_from_cache
+        assert first.per_node_chunks == second.per_node_chunks
+
+    def test_unseeded_runs_differ(self, small_model, optimized_placement_factory):
+        placement = optimized_placement_factory(small_model)
+        config = SimulationConfig(horizon=20_000.0, seed=None)
+        first = StorageSimulator(small_model, placement, engine="batch").run(config)
+        second = StorageSimulator(small_model, placement, engine="batch").run(config)
+        assert first.mean_latency() != second.mean_latency()
+
+    def test_event_engine_seeded_reproducible_via_seedsequence(
+        self, small_model, optimized_placement_factory
+    ):
+        placement = optimized_placement_factory(small_model)
+        config = SimulationConfig(horizon=10_000.0, seed=11)
+        first = StorageSimulator(small_model, placement, engine="event").run(config)
+        second = StorageSimulator(small_model, placement, engine="event").run(config)
+        assert first.mean_latency() == second.mean_latency()
+
+    def test_engines_use_independent_streams(self, small_model):
+        # The two engines draw from the same root seed but are not required
+        # to produce identical sample paths -- only consistent statistics.
+        streams = SimulationConfig(horizon=100.0, seed=3).spawn_streams()
+        assert len(streams) == 4
+
+    def test_unknown_engine_rejected(self, small_model):
+        with pytest.raises(SimulationError):
+            StorageSimulator(small_model, None, engine="warp")
+
+    def test_keep_node_records_unsupported_in_batch(
+        self, small_model, optimized_placement_factory
+    ):
+        placement = optimized_placement_factory(small_model)
+        config = SimulationConfig(horizon=1_000.0, seed=1, keep_node_records=True)
+        with pytest.raises(SimulationError):
+            StorageSimulator(small_model, placement, engine="batch").run(config)

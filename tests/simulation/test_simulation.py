@@ -13,6 +13,7 @@ from repro.queueing.mg1 import queue_moments
 from repro.simulation.arrivals import (
     NonHomogeneousPoissonArrivals,
     PoissonArrivalProcess,
+    generate_request_arrays,
     generate_request_stream,
     merge_arrival_streams,
 )
@@ -162,6 +163,31 @@ class TestArrivals:
         for _, file_id in stream:
             counts[file_id] += 1
         assert counts["b"] / max(counts["a"], 1) == pytest.approx(2.0, rel=0.15)
+
+    def test_generate_array_matches_rate(self, rng):
+        process = PoissonArrivalProcess("f", rate=2.0)
+        times = process.generate_array(10_000.0, rng)
+        assert times.size == pytest.approx(20_000, rel=0.05)
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= 0.0 and times.max() < 10_000.0
+
+    def test_non_homogeneous_generate_array(self, rng):
+        process = NonHomogeneousPoissonArrivals("f", [(0.0, 5.0), (100.0, 0.5)])
+        times = process.generate_array(200.0, rng)
+        first_half = int(np.sum(times < 100.0))
+        second_half = times.size - first_half
+        assert first_half == pytest.approx(500, rel=0.2)
+        assert second_half == pytest.approx(50, rel=0.5)
+
+    def test_generate_request_arrays(self, rng):
+        times, file_indices, file_ids = generate_request_arrays(
+            {"a": 1.0, "b": 2.0}, 1000.0, rng
+        )
+        assert np.all(np.diff(times) >= 0)
+        assert times.size == file_indices.size
+        counts = np.bincount(file_indices, minlength=len(file_ids))
+        ratio = counts[file_ids.index("b")] / max(counts[file_ids.index("a")], 1)
+        assert ratio == pytest.approx(2.0, rel=0.15)
 
 
 class TestMetrics:
