@@ -14,13 +14,14 @@ performance trajectory can be tracked across revisions.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple
 
 import pytest
+
+from repro.api.serialize import write_json
 
 #: Repository root, where the ``BENCH_<name>.json`` files land.
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -44,10 +45,13 @@ def print_report(title: str, body: str) -> None:
 
 
 def write_bench_json(name: str, payload: Dict[str, Any]) -> Path:
-    """Write one benchmark's metrics to ``BENCH_<name>.json`` at the repo root."""
-    path = REPO_ROOT / f"BENCH_{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    return path
+    """Write one benchmark's metrics to ``BENCH_<name>.json`` at the repo root.
+
+    Serialization goes through :func:`repro.api.serialize.write_json`, the
+    same uniform serializer behind ``RunResult.to_json`` and the CLI's
+    ``--json`` mode, so numpy scalars/arrays in metric dicts are handled.
+    """
+    return write_json(REPO_ROOT / f"BENCH_{name}.json", payload)
 
 
 def timed_run(

@@ -8,6 +8,9 @@ Two design choices called out in DESIGN.md are benchmarked here:
 * functional caching vs exact caching with the *same* per-file allocation --
   the structural claim of Section III that functional caching is never
   worse.
+
+Solvers are resolved through the ``repro.api`` solver registry, so any
+newly registered backend can be benchmarked the same way.
 """
 
 from __future__ import annotations
@@ -15,17 +18,16 @@ from __future__ import annotations
 import numpy as np
 from conftest import print_report, timed_run
 
+from repro.api import get_solver
 from repro.baselines.exact import popularity_allocation
 from repro.baselines.static import exact_vs_functional_bounds
-from repro.core.algorithm import CacheOptimizer
 from repro.workloads.defaults import paper_default_model
 
 
-def _optimize(pi_solver: str):
+def _optimize(solver_name: str):
     model = paper_default_model(num_files=60, cache_capacity=30, seed=3, rate_scale=8.0)
-    return CacheOptimizer(
-        model, tolerance=0.01, pi_solver=pi_solver, pi_max_iterations=80
-    ).optimize()
+    solver = get_solver(solver_name)
+    return solver.optimize(model, tolerance=0.01, pi_max_iterations=80)
 
 
 def _solver_metrics(outcome):

@@ -4,19 +4,23 @@ from __future__ import annotations
 
 from conftest import print_report, timed_run
 
-from repro.experiments import fig10_object_sizes
+from repro.api import get_experiment
+
+SPEC = get_experiment("fig10")
+
+#: Reduced sweep for the fast benchmark scale (overrides the registry's
+#: fast parameters: fewer sizes, shorter emulated run, always simulated).
+FAST_OVERRIDES = {
+    "object_sizes_mb": (16, 64),
+    "num_objects": 300,
+    "duration_s": 300.0,
+    "rate_scale": 3.0,
+}
 
 
 def _run(scale: str):
-    if scale == "paper":
-        return fig10_object_sizes.run(simulate=True)
-    return fig10_object_sizes.run(
-        object_sizes_mb=(16, 64),
-        num_objects=300,
-        duration_s=300.0,
-        rate_scale=3.0,
-        simulate=True,
-    )
+    overrides = {} if scale == "paper" else dict(FAST_OVERRIDES)
+    return SPEC.run(scale=scale, simulate=True, **overrides)
 
 
 def _metrics(result):
@@ -35,7 +39,7 @@ def test_fig10_object_sizes(benchmark, scale):
     )
     print_report(
         "Fig. 10 -- latency per object size (optimal vs Ceph LRU cache tier)",
-        fig10_object_sizes.format_result(result),
+        SPEC.format(result),
     )
     for comparison in result.comparisons:
         assert comparison.optimal_latency_ms <= comparison.baseline_latency_ms * 1.05

@@ -9,18 +9,23 @@ from __future__ import annotations
 
 from conftest import print_report, timed_run, write_bench_json
 
-from repro.experiments import fig11_arrival_rates
+from repro.api import get_experiment
+from repro.experiments.fig11_arrival_rates import measure_engine_speedup
+
+SPEC = get_experiment("fig11")
+
+#: Reduced sweep for the fast benchmark scale (overrides the registry's
+#: fast parameters: higher top rate, shorter emulated run, always simulated).
+FAST_OVERRIDES = {
+    "aggregate_rates": (0.5, 2.0, 8.0),
+    "num_objects": 400,
+    "duration_s": 300.0,
+}
 
 
 def _run(scale: str):
-    if scale == "paper":
-        return fig11_arrival_rates.run(simulate=True)
-    return fig11_arrival_rates.run(
-        aggregate_rates=(0.5, 2.0, 8.0),
-        num_objects=400,
-        duration_s=300.0,
-        simulate=True,
-    )
+    overrides = {} if scale == "paper" else dict(FAST_OVERRIDES)
+    return SPEC.run(scale=scale, simulate=True, **overrides)
 
 
 def _metrics(result):
@@ -39,7 +44,7 @@ def test_fig11_arrival_rates(benchmark, scale):
     )
     print_report(
         "Fig. 11 -- latency vs aggregate arrival rate (optimal vs Ceph LRU)",
-        fig11_arrival_rates.format_result(result),
+        SPEC.format(result),
     )
     assert result.mean_improvement() > 0.0
     low, high = result.comparisons[0], result.comparisons[-1]
@@ -56,7 +61,7 @@ def test_fig11_engine_speedup(benchmark, scale):
         kwargs = dict(aggregate_rate=8.0, num_objects=400, duration_s=1800.0)
 
     speedup = benchmark.pedantic(
-        fig11_arrival_rates.measure_engine_speedup,
+        measure_engine_speedup,
         kwargs=kwargs,
         iterations=1,
         rounds=1,

@@ -4,13 +4,13 @@ from __future__ import annotations
 
 from conftest import print_report, timed_run
 
-from repro.experiments import fig3_convergence
+from repro.api import get_experiment
+
+SPEC = get_experiment("fig3")
 
 
 def _run(scale: str):
-    if scale == "paper":
-        return fig3_convergence.run()
-    return fig3_convergence.run(cache_sizes=(20, 40, 60, 80, 100), num_files=100)
+    return SPEC.run(scale=scale)
 
 
 def _metrics(result):
@@ -26,9 +26,7 @@ def test_fig3_convergence(benchmark, scale):
     result, _ = timed_run(
         benchmark, "fig3_convergence", scale, _run, scale, metrics=_metrics
     )
-    print_report(
-        "Fig. 3 -- convergence of Algorithm 1", fig3_convergence.format_result(result)
-    )
+    print_report("Fig. 3 -- convergence of Algorithm 1", SPEC.format(result))
     assert result.max_iterations() < 20
     for curve in result.curves:
         assert curve.converged

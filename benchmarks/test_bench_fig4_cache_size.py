@@ -4,13 +4,13 @@ from __future__ import annotations
 
 from conftest import print_report, timed_run
 
-from repro.experiments import fig4_cache_size
+from repro.api import get_experiment
+
+SPEC = get_experiment("fig4")
 
 
 def _run(scale: str):
-    if scale == "paper":
-        return fig4_cache_size.run()
-    return fig4_cache_size.run(num_files=100)
+    return SPEC.run(scale=scale)
 
 
 def _metrics(result):
@@ -25,9 +25,6 @@ def test_fig4_cache_size(benchmark, scale):
     result, _ = timed_run(
         benchmark, "fig4_cache_size", scale, _run, scale, metrics=_metrics
     )
-    print_report(
-        "Fig. 4 -- average latency vs cache size",
-        fig4_cache_size.format_result(result),
-    )
+    print_report("Fig. 4 -- average latency vs cache size", SPEC.format(result))
     assert result.is_nonincreasing(tolerance=1e-3)
     assert result.points[-1].latency <= result.points[0].latency

@@ -4,7 +4,13 @@ from __future__ import annotations
 
 from conftest import print_report, timed_run
 
-from repro.experiments import fig5_evolution
+from repro.api import get_experiment
+
+SPEC = get_experiment("fig5")
+
+
+def _run(scale: str):
+    return SPEC.run(scale=scale)
 
 
 def _metrics(result):
@@ -16,12 +22,9 @@ def _metrics(result):
 
 def test_fig5_evolution(benchmark, scale):
     result, _ = timed_run(
-        benchmark, "fig5_evolution", scale, fig5_evolution.run, metrics=_metrics
+        benchmark, "fig5_evolution", scale, _run, scale, metrics=_metrics
     )
-    print_report(
-        "Fig. 5 / Table I -- cache content evolution",
-        fig5_evolution.format_result(result),
-    )
+    print_report("Fig. 5 / Table I -- cache content evolution", SPEC.format(result))
     assert len(result.cache_per_bin) == 3
     for bin_content in result.cache_per_bin:
         assert 0 < sum(bin_content.values()) <= result.cache_capacity

@@ -4,7 +4,13 @@ from __future__ import annotations
 
 from conftest import print_report, timed_run
 
-from repro.experiments import fig6_placement
+from repro.api import get_experiment
+
+SPEC = get_experiment("fig6")
+
+
+def _run(scale: str):
+    return SPEC.run(scale=scale)
 
 
 def _metrics(result):
@@ -16,11 +22,11 @@ def _metrics(result):
 
 def test_fig6_placement(benchmark, scale):
     result, _ = timed_run(
-        benchmark, "fig6_placement", scale, fig6_placement.run, metrics=_metrics
+        benchmark, "fig6_placement", scale, _run, scale, metrics=_metrics
     )
     print_report(
         "Fig. 6 -- cache allocation vs arrival rate of the first two files",
-        fig6_placement.format_result(result),
+        SPEC.format(result),
     )
     first_two = result.first_two_series()
     last_six = result.last_six_series()

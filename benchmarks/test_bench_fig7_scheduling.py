@@ -7,13 +7,13 @@ from __future__ import annotations
 
 from conftest import print_report, timed_run
 
-from repro.experiments import fig7_scheduling
+from repro.api import get_experiment
+
+SPEC = get_experiment("fig7")
 
 
 def _run(scale: str):
-    if scale == "paper":
-        return fig7_scheduling.run()
-    return fig7_scheduling.run(num_objects=200, cache_capacity_chunks=250)
+    return SPEC.run(scale=scale)
 
 
 def _metrics(result):
@@ -28,9 +28,6 @@ def test_fig7_scheduling(benchmark, scale):
     result, _ = timed_run(
         benchmark, "fig7_scheduling", scale, _run, scale, metrics=_metrics
     )
-    print_report(
-        "Fig. 7 -- cache vs storage chunk scheduling",
-        fig7_scheduling.format_result(result),
-    )
+    print_report("Fig. 7 -- cache vs storage chunk scheduling", SPEC.format(result))
     for series in result.series:
         assert abs(series.cache_fraction - series.expected_cache_fraction) < 0.1

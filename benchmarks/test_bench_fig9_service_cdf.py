@@ -4,12 +4,13 @@ from __future__ import annotations
 
 from conftest import print_report, timed_run
 
-from repro.experiments import fig9_service_cdf
+from repro.api import get_experiment
+
+SPEC = get_experiment("fig9")
 
 
 def _run(scale: str):
-    samples = 20000 if scale == "paper" else 5000
-    return fig9_service_cdf.run(samples_per_size=samples)
+    return SPEC.run(scale=scale)
 
 
 def _metrics(result):
@@ -24,8 +25,7 @@ def test_fig9_service_cdf(benchmark, scale):
         benchmark, "fig9_service_cdf", scale, _run, scale, metrics=_metrics
     )
     print_report(
-        "Fig. 9 / Table IV -- chunk service-time distribution",
-        fig9_service_cdf.format_result(result),
+        "Fig. 9 / Table IV -- chunk service-time distribution", SPEC.format(result)
     )
     for cdf in result.cdfs:
         assert abs(cdf.sample_mean_ms - cdf.table_mean_ms) / cdf.table_mean_ms < 0.05

@@ -4,12 +4,13 @@ from __future__ import annotations
 
 from conftest import print_report, timed_run
 
-from repro.experiments import tables
+from repro.api import get_experiment
+
+SPEC = get_experiment("tables")
 
 
 def _run(scale: str):
-    samples = 20000 if scale == "paper" else 5000
-    return tables.run(samples=samples)
+    return SPEC.run(scale=scale)
 
 
 def _metrics(result):
@@ -21,7 +22,7 @@ def _metrics(result):
 
 def test_tables(benchmark, scale):
     result, _ = timed_run(benchmark, "tables", scale, _run, scale, metrics=_metrics)
-    print_report("Tables I, III, IV, V", tables.format_result(result))
+    print_report("Tables I, III, IV, V", SPEC.format(result))
     for row in result.table_v:
         assert row.emulated_latency_ms == row.paper_latency_ms
     for row in result.table_iv:

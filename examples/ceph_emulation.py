@@ -18,8 +18,8 @@ Run with::
 
 from __future__ import annotations
 
+from repro.api import get_solver
 from repro.cluster.cluster import CephLikeCluster, ClusterConfig
-from repro.core.algorithm import CacheOptimizer
 from repro.experiments.fig10_object_sizes import _analytical_model
 from repro.workloads.generator import standard_read_workload
 from repro.workloads.traces import aggregate_rate_to_per_object
@@ -43,7 +43,10 @@ def main() -> None:
     # --- Optimal (functional) caching: optimize, then create equivalent pools.
     cluster_optimal = CephLikeCluster(config)
     model = _analytical_model(cluster_optimal, arrival_rates, config)
-    placement = CacheOptimizer(model, tolerance=0.5).optimize().placement
+    # Solvers are resolved through the repro.api registry (any registered
+    # backend -- projected_gradient, frank_wolfe, slsqp -- works here).
+    solver = get_solver("projected_gradient")
+    placement = solver.optimize(model, tolerance=0.5).placement
     object_pool_map = placement.cached_chunks()
     pools = {}
     for allocation in object_pool_map.values():

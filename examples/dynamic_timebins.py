@@ -9,7 +9,9 @@ pattern, and shows:
   new time bins,
 * how the cache content follows the hot files of each bin,
 * how the lazy update rule (drop shrunk allocations immediately, add grown
-  allocations on the next access) keeps the network overhead at zero.
+  allocations on the next access) keeps the network overhead at zero,
+* how the registered ``fig5`` experiment replays each bin's placement
+  through the batch simulation engine as a cross-check of the bound.
 
 Run with::
 
@@ -20,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import run_experiment
 from repro.core.timebins import TimeBin, TimeBinScheduler
 from repro.simulation.arrivals import generate_request_stream
 from repro.workloads.defaults import ten_file_model
@@ -86,9 +89,23 @@ def detect_rate_changes() -> None:
         print("  no change detected (threshold too high for this trace)")
 
 
+def simulate_bins_via_registry() -> None:
+    """Cross-check each bin's latency bound against the batch engine."""
+    print("\nPer-bin simulation cross-check (registered fig5 experiment):")
+    result = run_experiment("fig5", scale="fast", simulate_bins=True, horizon=2000.0)
+    for index, (bound, simulated) in enumerate(
+        zip(result.latency_per_bin, result.simulated_latency_per_bin), start=1
+    ):
+        print(
+            f"  bin {index}: analytical bound {bound:6.2f}s, "
+            f"simulated mean {simulated:6.2f}s"
+        )
+
+
 def main() -> None:
     replay_table_i()
     detect_rate_changes()
+    simulate_bins_via_registry()
 
 
 if __name__ == "__main__":

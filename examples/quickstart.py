@@ -1,11 +1,15 @@
 #!/usr/bin/env python
-"""Quickstart: optimize a functional cache for a small erasure-coded store.
+"""Quickstart: the declarative ``repro.api`` facade in one file.
 
-The script builds a 12-server, 60-file storage system in the paper's default
-configuration, runs Algorithm 1 to decide how many functional chunks of each
-file to cache and how to schedule the remaining chunk fetches, then validates
-the analytical latency bound against a discrete-event simulation of the same
-system with and without the optimized cache.
+A :class:`repro.api.Scenario` describes the whole run -- workload, erasure
+code, cache policy, solver, simulation engine, seed -- and
+:func:`repro.api.run_scenario` executes the paper's pipeline end to end
+(model -> Algorithm-1 optimization -> probabilistic scheduling ->
+simulation), returning a typed :class:`~repro.api.RunResult`.
+
+The script optimizes a functional cache for a 12-server, 60-file
+erasure-coded store, compares it against the no-cache baseline (same
+scenario, different ``policy``), and dumps the machine-readable result.
 
 Run with::
 
@@ -14,55 +18,48 @@ Run with::
 
 from __future__ import annotations
 
-from repro.baselines.static import no_cache_placement
-from repro.core.algorithm import CacheOptimizer
-from repro.core.placement import placement_histogram
-from repro.simulation.simulator import SimulationConfig, StorageSimulator
-from repro.workloads.defaults import paper_default_model
+from repro.api import Scenario, Session
 
 
 def main() -> None:
     # 60 files, (7,4) erasure code, 12 heterogeneous servers, cache of 30
     # chunks.  Arrival rates are scaled up so the system is busy enough for
     # caching to matter on this small instance.
-    model = paper_default_model(
-        num_files=60, cache_capacity=30, seed=7, rate_scale=12.0
+    scenario = Scenario(
+        num_files=60,
+        cache_capacity=30,
+        code=(7, 4),
+        seed=7,
+        rate_scale=12.0,
+        engine="batch",
+        horizon=200_000.0,
     )
-    print(f"model: {model}")
-    print(f"aggregate arrival rate: {model.total_arrival_rate:.4f} requests/s")
+    print(scenario.describe())
 
-    # --- Optimize the cache placement (Algorithm 1).
-    optimizer = CacheOptimizer(model, tolerance=0.01)
-    outcome = optimizer.optimize()
-    placement = outcome.placement
-    print(
-        f"\nAlgorithm 1 converged in {outcome.outer_iterations} outer iterations "
-        f"({outcome.inner_solves} convex solves)"
-    )
-    print(f"objective trace: {[round(v, 2) for v in outcome.objective_trace]}")
-    print(
-        f"cache usage: {placement.total_cached_chunks}/{model.cache_capacity} chunks, "
-        f"allocation histogram (d -> files): {placement_histogram(placement)}"
-    )
-    print(f"analytical mean latency bound: {placement.objective:.2f} s")
+    # --- Optimize + simulate in one call.
+    session = Session()
+    optimized = session.run(scenario)
+    print()
+    print(optimized.summary())
 
-    # --- Validate against the discrete-event simulator.
-    config = SimulationConfig(horizon=200_000.0, seed=11, warmup=10_000.0)
-
-    no_cache = no_cache_placement(model)
-    sim_no_cache = StorageSimulator(model, no_cache).run(config)
-    sim_optimized = StorageSimulator(model, placement).run(config)
+    # --- Same scenario under the no-cache baseline policy.
+    no_cache = session.run(scenario.replace(policy="no_cache"))
 
     print("\nsimulated mean file latency:")
-    print(f"  without cache   : {sim_no_cache.mean_latency():8.2f} s")
-    print(f"  optimized cache : {sim_optimized.mean_latency():8.2f} s")
-    print(f"  analytical bound: {placement.objective:8.2f} s (upper bound)")
-    reduction = 1.0 - sim_optimized.mean_latency() / sim_no_cache.mean_latency()
+    print(f"  without cache   : {no_cache.simulated_mean_latency:8.2f} s")
+    print(f"  optimized cache : {optimized.simulated_mean_latency:8.2f} s")
+    print(f"  analytical bound: {optimized.objective:8.2f} s (upper bound)")
+    reduction = 1.0 - optimized.simulated_mean_latency / no_cache.simulated_mean_latency
     print(f"  latency reduction from functional caching: {reduction:.1%}")
     print(
-        f"  chunks served from cache: {sim_optimized.cache_chunk_fraction():.1%} "
+        f"  chunks served from cache: {optimized.cache_chunk_fraction:.1%} "
         "of all chunk requests"
     )
+
+    # --- Uniform machine-readable output (same serializer as the CLI's
+    # --json mode and the BENCH_*.json writers).
+    path = optimized.write_json("quickstart_run.json")
+    print(f"\nfull result written to {path}")
 
 
 if __name__ == "__main__":

@@ -6,11 +6,12 @@ titles receive about 80% of the requests.  The library is stored with a (7,4)
 erasure code across 12 storage servers; a proxy close to the video clients
 holds a small functional cache.  The example:
 
-1. builds a Zipf-popularity workload over 80 titles,
-2. optimizes the functional cache with Algorithm 1,
-3. compares it (analytically and by simulation) against three baselines --
-   no cache, whole-file caching of the most popular titles, and exact
-   caching of verbatim chunks,
+1. registers a custom Zipf-popularity workload with the ``repro.api``
+   workload registry (the same extension point any new workload uses),
+2. runs one :class:`~repro.api.Scenario` per caching policy -- no cache,
+   whole-file caching, exact chunk caching and Sprout's optimized
+   functional caching -- through a shared :class:`~repro.api.Session`,
+3. compares the policies analytically and by simulation,
 4. verifies end-to-end, with the real Reed-Solomon codec, that a cached
    title can be reconstructed from its functional chunks plus any k-d
    storage chunks.
@@ -24,33 +25,28 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.exact import exact_caching_placement
-from repro.baselines.static import no_cache_placement, popularity_whole_file_placement
-from repro.core.algorithm import CacheOptimizer
+from repro.api import Scenario, Session, register_workload
 from repro.core.model import FileSpec, StorageSystemModel
 from repro.erasure.functional import FunctionalCacheCoder
 from repro.erasure.reed_solomon import ReedSolomonCode
 from repro.queueing.distributions import ExponentialService
-from repro.simulation.simulator import SimulationConfig, StorageSimulator
 from repro.workloads.defaults import DEFAULT_SERVICE_RATES
 
 
-def build_video_library(
-    num_titles: int = 80,
-    zipf_exponent: float = 1.1,
-    total_request_rate: float = 0.09,
-    cache_chunks: int = 60,
-    seed: int = 42,
-) -> StorageSystemModel:
-    """Build a Zipf-popular video library stored with a (7,4) code."""
-    n, k = 7, 4
+@register_workload("zipf_video", description="Zipf-popular video library on 12 servers")
+def build_video_library(scenario: Scenario) -> StorageSystemModel:
+    """Build a Zipf-popular video library stored with the scenario's code."""
+    params = dict(scenario.workload_params)
+    zipf_exponent = params.get("zipf_exponent", 1.1)
+    total_request_rate = params.get("total_request_rate", 0.09)
+    n, k = scenario.code
     num_servers = 12
-    rng = np.random.default_rng(seed)
-    weights = 1.0 / np.arange(1, num_titles + 1) ** zipf_exponent
+    rng = np.random.default_rng(scenario.seed)
+    weights = 1.0 / np.arange(1, scenario.num_files + 1) ** zipf_exponent
     weights /= weights.sum()
     services = [ExponentialService(rate) for rate in DEFAULT_SERVICE_RATES]
     files = []
-    for index in range(num_titles):
+    for index in range(scenario.num_files):
         placement = [int(x) for x in rng.choice(num_servers, size=n, replace=False)]
         files.append(
             FileSpec(
@@ -58,11 +54,15 @@ def build_video_library(
                 n=n,
                 k=k,
                 placement=placement,
-                arrival_rate=float(total_request_rate * weights[index]),
+                arrival_rate=float(
+                    total_request_rate * weights[index] * scenario.rate_scale
+                ),
                 chunk_size=25,
             )
         )
-    return StorageSystemModel(services=services, files=files, cache_capacity=cache_chunks)
+    return StorageSystemModel(
+        services=services, files=files, cache_capacity=scenario.cache_capacity
+    )
 
 
 def verify_functional_reconstruction() -> None:
@@ -84,32 +84,44 @@ def verify_functional_reconstruction() -> None:
 def main() -> None:
     verify_functional_reconstruction()
 
-    model = build_video_library()
-    top_20pct = int(0.2 * model.num_files)
-    top_rate = sum(spec.arrival_rate for spec in model.files[:top_20pct])
-    print(
-        f"\nvideo library: {model.num_files} titles, "
-        f"top 20% of titles carry {top_rate / model.total_arrival_rate:.0%} of requests"
+    base = Scenario(
+        workload="zipf_video",
+        num_files=80,
+        cache_capacity=60,
+        seed=42,
+        horizon=300_000.0,
     )
-    print(f"proxy cache: {model.cache_capacity} chunks "
-          f"({model.cache_capacity / (4 * model.num_files):.0%} of all data chunks)")
+    session = Session()
+    library = session.build_model(base)
+    top_20pct = int(0.2 * library.num_files)
+    top_rate = sum(spec.arrival_rate for spec in library.files[:top_20pct])
+    print(
+        f"\nvideo library: {library.num_files} titles, "
+        f"top 20% of titles carry {top_rate / library.total_arrival_rate:.0%} of requests"
+    )
+    print(
+        f"proxy cache: {library.cache_capacity} chunks "
+        f"({library.cache_capacity / (4 * library.num_files):.0%} of all data chunks)"
+    )
 
     policies = {
-        "no cache": no_cache_placement(model),
-        "whole-file (most popular)": popularity_whole_file_placement(model),
-        "exact chunks (most popular)": exact_caching_placement(model),
-        "Sprout functional caching": CacheOptimizer(model, tolerance=0.01)
-        .optimize()
-        .placement,
+        "no cache": base.replace(policy="no_cache"),
+        "whole-file (most popular)": base.replace(policy="whole_file"),
+        "exact chunks (most popular)": base.replace(policy="exact"),
+        "Sprout functional caching": base,  # policy="optimal"
     }
 
     print(f"\n{'policy':>28} {'analytical bound':>17} {'simulated mean':>15}")
-    config = SimulationConfig(horizon=300_000.0, seed=3, warmup=15_000.0)
-    for name, placement in policies.items():
-        simulated = StorageSimulator(model, placement).run(config).mean_latency()
-        print(f"{name:>28} {placement.objective:>16.2f}s {simulated:>14.2f}s")
+    results = {}
+    for name, scenario in policies.items():
+        result = session.run(scenario)
+        results[name] = result
+        print(
+            f"{name:>28} {result.objective:>16.2f}s "
+            f"{result.simulated_mean_latency:>14.2f}s"
+        )
 
-    sprout = policies["Sprout functional caching"]
+    sprout = results["Sprout functional caching"].placement
     hot_titles = sorted(
         sprout.files, key=lambda entry: entry.arrival_rate, reverse=True
     )[:5]

@@ -2,6 +2,8 @@
 
 The package is organised as:
 
+* :mod:`repro.api` -- **the public facade**: declarative scenarios,
+  pluggable component registries and the experiment registry.
 * :mod:`repro.erasure` -- GF(2^8) / Reed-Solomon substrate and functional
   cache chunk construction.
 * :mod:`repro.queueing` -- service-time distributions, M/G/1 moments and the
@@ -9,21 +11,25 @@ The package is organised as:
 * :mod:`repro.core` -- the system model, the latency objective and
   Algorithm 1 (alternating minimization with integer rounding).
 * :mod:`repro.scheduling` -- probabilistic request scheduling.
-* :mod:`repro.simulation` -- discrete-event simulation of the storage system.
+* :mod:`repro.simulation` -- the event and batch simulation engines.
 * :mod:`repro.baselines` -- LRU, exact-caching and static baselines.
 * :mod:`repro.cluster` -- Ceph-like cluster emulation (equivalent-code pools,
   LRU cache tier, measured device latencies).
 * :mod:`repro.workloads` -- the paper's workload tables and generators.
-* :mod:`repro.experiments` -- one module per table/figure of the evaluation.
+* :mod:`repro.experiments` -- one registered experiment per table/figure.
 
 Quickstart::
 
-    from repro.workloads import paper_default_model
-    from repro.core import CacheOptimizer
+    from repro import Scenario, run_scenario
 
-    model = paper_default_model(num_files=100, cache_capacity=50)
-    placement = CacheOptimizer(model).optimize().placement
-    print(placement.summary())
+    result = run_scenario(Scenario(num_files=100, cache_capacity=50))
+    print(result.summary())
+
+Every figure/table of the paper is a registered experiment::
+
+    from repro.api import run_experiment
+
+    fig4 = run_experiment("fig4", scale="fast")
 """
 
 from repro.core.algorithm import CacheOptimizer, optimize_cache_placement
@@ -31,10 +37,32 @@ from repro.core.model import FileSpec, StorageSystemModel
 from repro.core.placement import CachePlacement
 from repro.erasure.functional import FunctionalCacheCoder
 from repro.erasure.reed_solomon import ReedSolomonCode
+from repro.api.scenario import Scenario
+from repro.api.session import RunResult, Session, run_scenario
+from repro.api.experiments import get_experiment, register_experiment, run_experiment
+from repro.api.registry import (
+    register_baseline,
+    register_engine,
+    register_solver,
+    register_workload,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # facade
+    "Scenario",
+    "Session",
+    "RunResult",
+    "run_scenario",
+    "run_experiment",
+    "get_experiment",
+    "register_solver",
+    "register_engine",
+    "register_baseline",
+    "register_workload",
+    "register_experiment",
+    # core building blocks
     "CacheOptimizer",
     "optimize_cache_placement",
     "StorageSystemModel",

@@ -1,0 +1,109 @@
+"""``repro.api`` -- the single public entry point of the reproduction.
+
+The facade is declarative: describe a run as a frozen
+:class:`~repro.api.scenario.Scenario` (workload, erasure code, cache
+policy, solver, engine, seed, scale), execute it with
+:func:`~repro.api.session.run_scenario`, and get a typed
+:class:`~repro.api.session.RunResult` with uniform JSON serialization::
+
+    from repro.api import Scenario, run_scenario
+
+    result = run_scenario(Scenario(num_files=60, cache_capacity=30))
+    print(result.summary())
+
+Swappable components live in named registries -- solvers, simulation
+engines, baseline policies, workload builders and the paper's experiments
+-- and new backends register with a decorator::
+
+    from repro.api import register_baseline
+
+    @register_baseline("my_policy")
+    def build(model):
+        return some_cache_placement
+
+The figures and tables of the paper are registered
+:class:`~repro.api.experiments.ExperimentSpec` entries with per-scale
+parameter sets; run them by name::
+
+    from repro.api import run_experiment
+
+    fig4 = run_experiment("fig4", scale="fast")
+"""
+
+from repro.api.experiments import (
+    ExperimentSpec,
+    get_experiment,
+    register_experiment,
+    run_experiment,
+)
+from repro.api.registry import (
+    BASELINES,
+    ENGINES,
+    EXPERIMENTS,
+    SOLVERS,
+    WORKLOADS,
+    BaselineSpec,
+    EngineSpec,
+    Registry,
+    SolverSpec,
+    WorkloadSpec,
+    get_baseline,
+    get_engine,
+    get_solver,
+    get_workload,
+    list_baselines,
+    list_engines,
+    list_experiments,
+    list_solvers,
+    list_workloads,
+    register_baseline,
+    register_engine,
+    register_solver,
+    register_workload,
+)
+from repro.api.scenario import OPTIMAL_POLICY, SCALES, Scenario
+from repro.api.serialize import json_dumps, to_jsonable, write_json
+from repro.api.session import RunResult, Session, run_scenario
+
+__all__ = [
+    # scenario + facade
+    "Scenario",
+    "Session",
+    "RunResult",
+    "run_scenario",
+    "OPTIMAL_POLICY",
+    "SCALES",
+    # experiments
+    "ExperimentSpec",
+    "register_experiment",
+    "get_experiment",
+    "run_experiment",
+    "list_experiments",
+    # registries
+    "Registry",
+    "SolverSpec",
+    "EngineSpec",
+    "BaselineSpec",
+    "WorkloadSpec",
+    "SOLVERS",
+    "ENGINES",
+    "BASELINES",
+    "WORKLOADS",
+    "EXPERIMENTS",
+    "register_solver",
+    "register_engine",
+    "register_baseline",
+    "register_workload",
+    "get_solver",
+    "get_engine",
+    "get_baseline",
+    "get_workload",
+    "list_solvers",
+    "list_engines",
+    "list_baselines",
+    "list_workloads",
+    # serialization
+    "to_jsonable",
+    "json_dumps",
+    "write_json",
+]

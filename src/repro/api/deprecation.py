@@ -1,0 +1,42 @@
+"""Deprecation helpers for call patterns subsumed by :mod:`repro.api`."""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Any, Callable, TypeVar
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def deprecated(replacement: str, name: str = "") -> Callable[[F], F]:
+    """Wrap a callable so direct calls emit a :class:`DeprecationWarning`.
+
+    The wrapped function keeps its behaviour and signature; the original is
+    reachable as ``wrapper.__wrapped__`` (which is what the registries hold,
+    so registry-driven execution stays warning-free).
+    """
+
+    def decorate(func: F) -> F:
+        label = name or f"{func.__module__}.{func.__qualname__}"
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            warnings.warn(
+                f"{label}() is deprecated; use {replacement} instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return func(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def deprecated_entry_point(experiment_name: str) -> Callable[[F], F]:
+    """Deprecate direct ``figX.run(**kwargs)`` calls replaced by the registry."""
+    return deprecated(
+        f"repro.api.run_experiment({experiment_name!r}, scale=..., **overrides) "
+        f"or repro.api.run_scenario(...)"
+    )

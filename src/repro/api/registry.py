@@ -1,0 +1,439 @@
+"""Pluggable registries behind the :mod:`repro.api` facade.
+
+Every swappable component of the pipeline -- Prob-Pi solver, simulation
+engine, baseline caching policy, workload builder and experiment -- lives in
+a named :class:`Registry`.  A :class:`~repro.api.scenario.Scenario` refers to
+components purely by name, so new backends plug in with a decorator instead
+of a code change in the facade:
+
+    from repro.api import register_engine
+
+    @register_engine("sharded", description="sharded multi-process engine")
+    def simulate(model, placement, config):
+        ...
+        return SimulationResult(...)
+
+Built-in components (the three Prob-Pi solvers, the event/batch simulation
+engines, the static/exact baselines and the paper's workloads) are
+registered at import time; the experiment registry is populated lazily by
+importing :mod:`repro.experiments`, whose modules register themselves.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.exceptions import RegistryError
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """A named mapping from component names to registered specs.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable component kind (``"solver"``, ``"engine"``, ...),
+        used in error messages and listings.
+    populate:
+        Optional callable invoked once, on first lookup, to self-populate
+        the registry (used by the experiment registry, whose entries live in
+        the :mod:`repro.experiments` modules and register on import).
+    """
+
+    def __init__(self, kind: str, populate: Optional[Callable[[], None]] = None):
+        self._kind = kind
+        self._entries: Dict[str, T] = {}
+        self._populate = populate
+        self._populating = False
+
+    @property
+    def kind(self) -> str:
+        """The component kind this registry holds."""
+        return self._kind
+
+    def _ensure_populated(self) -> None:
+        if self._populate is not None and not self._populating:
+            self._populating = True
+            try:
+                self._populate()
+            finally:
+                self._populating = False
+            # Only drop the callback on success: a failed populate (e.g. a
+            # transient ImportError) propagates and is retried next lookup
+            # instead of leaving a silently empty registry.
+            self._populate = None
+
+    def register(self, name: str, entry: T, replace: bool = False) -> T:
+        """Register ``entry`` under ``name``; duplicate names are an error."""
+        if not name or not isinstance(name, str):
+            raise RegistryError(f"{self._kind} names must be non-empty strings, got {name!r}")
+        if name in self._entries and not replace:
+            raise RegistryError(
+                f"{self._kind} {name!r} is already registered; pass replace=True to override"
+            )
+        self._entries[name] = entry
+        return entry
+
+    def unregister(self, name: str) -> None:
+        """Remove a registered entry (mostly for tests and plugin teardown)."""
+        self._entries.pop(name, None)
+
+    def get(self, name: str) -> T:
+        """Look up a component by name, with the known names in the error."""
+        self._ensure_populated()
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries)) or "<none>"
+            raise RegistryError(
+                f"unknown {self._kind} {name!r}; registered {self._kind}s: {known}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """All registered names, sorted."""
+        self._ensure_populated()
+        return sorted(self._entries)
+
+    def items(self) -> List[Tuple[str, T]]:
+        """``(name, entry)`` pairs, sorted by name."""
+        self._ensure_populated()
+        return sorted(self._entries.items())
+
+    def __contains__(self, name: object) -> bool:
+        self._ensure_populated()
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._ensure_populated()
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Registry(kind={self._kind!r}, names={self.names()})"
+
+
+# ----------------------------------------------------------------------
+# Component specs
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """A cache-optimization backend.
+
+    ``optimize(model, **kwargs)`` must return an
+    :class:`~repro.core.algorithm.OptimizationResult`; ``kwargs`` carry the
+    scenario's ``tolerance``, optional ``warm_start`` / ``time_bin`` and any
+    ``solver_params``.
+    """
+
+    name: str
+    description: str
+    optimize: Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A simulation backend.
+
+    ``simulate(model, placement, config)`` must return a
+    :class:`~repro.simulation.simulator.SimulationResult`.
+    """
+
+    name: str
+    description: str
+    simulate: Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class BaselineSpec:
+    """A baseline caching policy: ``build(model)`` returns a placement."""
+
+    name: str
+    description: str
+    build: Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A workload builder: ``build(scenario)`` returns a system model."""
+
+    name: str
+    description: str
+    build: Callable[..., Any]
+
+
+# ----------------------------------------------------------------------
+# The registries
+# ----------------------------------------------------------------------
+
+
+def _import_experiment_modules() -> None:
+    # The experiment modules register themselves on import (see
+    # repro.api.experiments.register_experiment).
+    importlib.import_module("repro.experiments")
+
+
+SOLVERS: Registry[SolverSpec] = Registry("solver")
+ENGINES: Registry[EngineSpec] = Registry("engine")
+BASELINES: Registry[BaselineSpec] = Registry("baseline")
+WORKLOADS: Registry[WorkloadSpec] = Registry("workload")
+EXPERIMENTS: Registry[Any] = Registry("experiment", populate=_import_experiment_modules)
+
+
+# ----------------------------------------------------------------------
+# Registration decorators
+# ----------------------------------------------------------------------
+
+
+def _first_doc_line(func: Callable[..., Any]) -> str:
+    doc = (func.__doc__ or "").strip()
+    return doc.splitlines()[0] if doc else ""
+
+
+def register_solver(name: str, description: str = "") -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register ``optimize(model, **kwargs) -> OptimizationResult`` as a solver."""
+
+    def decorate(func: Callable[..., Any]) -> Callable[..., Any]:
+        SOLVERS.register(
+            name, SolverSpec(name=name, description=description or _first_doc_line(func), optimize=func)
+        )
+        return func
+
+    return decorate
+
+
+def register_engine(name: str, description: str = "") -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register ``simulate(model, placement, config) -> SimulationResult`` as an engine."""
+
+    def decorate(func: Callable[..., Any]) -> Callable[..., Any]:
+        ENGINES.register(
+            name, EngineSpec(name=name, description=description or _first_doc_line(func), simulate=func)
+        )
+        return func
+
+    return decorate
+
+
+def register_baseline(name: str, description: str = "") -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register ``build(model) -> CachePlacement`` as a baseline policy."""
+
+    def decorate(func: Callable[..., Any]) -> Callable[..., Any]:
+        BASELINES.register(
+            name, BaselineSpec(name=name, description=description or _first_doc_line(func), build=func)
+        )
+        return func
+
+    return decorate
+
+
+def register_workload(name: str, description: str = "") -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register ``build(scenario) -> StorageSystemModel`` as a workload."""
+
+    def decorate(func: Callable[..., Any]) -> Callable[..., Any]:
+        WORKLOADS.register(
+            name, WorkloadSpec(name=name, description=description or _first_doc_line(func), build=func)
+        )
+        return func
+
+    return decorate
+
+
+# ----------------------------------------------------------------------
+# Lookup helpers (re-exported by repro.api)
+# ----------------------------------------------------------------------
+
+
+def get_solver(name: str) -> SolverSpec:
+    """Look up a registered solver."""
+    return SOLVERS.get(name)
+
+
+def get_engine(name: str) -> EngineSpec:
+    """Look up a registered simulation engine."""
+    return ENGINES.get(name)
+
+
+def get_baseline(name: str) -> BaselineSpec:
+    """Look up a registered baseline policy."""
+    return BASELINES.get(name)
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a registered workload builder."""
+    return WORKLOADS.get(name)
+
+
+def list_solvers() -> List[str]:
+    """Names of the registered solvers."""
+    return SOLVERS.names()
+
+
+def list_engines() -> List[str]:
+    """Names of the registered simulation engines."""
+    return ENGINES.names()
+
+
+def list_baselines() -> List[str]:
+    """Names of the registered baseline policies."""
+    return BASELINES.names()
+
+
+def list_workloads() -> List[str]:
+    """Names of the registered workload builders."""
+    return WORKLOADS.names()
+
+
+def list_experiments() -> List[str]:
+    """Names of the registered experiments."""
+    return EXPERIMENTS.names()
+
+
+# ----------------------------------------------------------------------
+# Built-in components
+# ----------------------------------------------------------------------
+
+
+def _register_builtin_solvers() -> None:
+    from repro.core.algorithm import CacheOptimizer
+
+    descriptions = {
+        "projected_gradient": "Projected-gradient Prob-Pi solver (exact segmented projection; default)",
+        "frank_wolfe": "Frank-Wolfe (conditional-gradient) Prob-Pi solver",
+        "slsqp": "SciPy SLSQP Prob-Pi solver (slow reference implementation)",
+    }
+
+    def make(solver_name: str) -> Callable[..., Any]:
+        def optimize(model, warm_start=None, time_bin=None, **kwargs):
+            requested = kwargs.setdefault("pi_solver", solver_name)
+            if requested != solver_name:
+                # A conflicting pi_solver in solver_params would silently run
+                # a different solver than the one all provenance reports.
+                raise RegistryError(
+                    f"solver {solver_name!r} cannot run with pi_solver={requested!r}; "
+                    f"select the solver by name instead"
+                )
+            optimizer = CacheOptimizer(model, **kwargs)
+            return optimizer.optimize(initial_state=warm_start, time_bin=time_bin)
+
+        return optimize
+
+    for solver_name, blurb in descriptions.items():
+        SOLVERS.register(solver_name, SolverSpec(solver_name, blurb, make(solver_name)))
+
+
+def _register_builtin_engines() -> None:
+    from repro.simulation.simulator import StorageSimulator
+
+    descriptions = {
+        "event": "per-arrival discrete-event loop (reference; supports keep_node_records)",
+        "batch": "fully vectorised batch engine (~70x faster; preferred for sweeps)",
+    }
+
+    def make(engine_name: str) -> Callable[..., Any]:
+        def simulate(model, placement, config):
+            return StorageSimulator(model, placement, engine=engine_name).run(config)
+
+        return simulate
+
+    for engine_name, blurb in descriptions.items():
+        ENGINES.register(engine_name, EngineSpec(engine_name, blurb, make(engine_name)))
+
+
+def _register_builtin_baselines() -> None:
+    from repro.baselines.exact import exact_caching_placement
+    from repro.baselines.static import (
+        no_cache_placement,
+        popularity_whole_file_placement,
+        proportional_placement,
+    )
+
+    BASELINES.register(
+        "no_cache",
+        BaselineSpec("no_cache", "no caching: every chunk is fetched from storage", no_cache_placement),
+    )
+    BASELINES.register(
+        "whole_file",
+        BaselineSpec(
+            "whole_file",
+            "cache the most popular files in their entirety until capacity runs out",
+            popularity_whole_file_placement,
+        ),
+    )
+    BASELINES.register(
+        "proportional",
+        BaselineSpec(
+            "proportional",
+            "spread cache space across files proportionally to arrival rates",
+            proportional_placement,
+        ),
+    )
+    BASELINES.register(
+        "exact",
+        BaselineSpec(
+            "exact",
+            "exact caching of verbatim chunks, filled greedily by popularity",
+            exact_caching_placement,
+        ),
+    )
+
+
+def _register_builtin_workloads() -> None:
+    from repro.workloads.defaults import DEFAULT_CODE, paper_default_model, ten_file_model
+
+    def build_paper_default(scenario):
+        n, k = scenario.code
+        return paper_default_model(
+            num_files=scenario.num_files,
+            cache_capacity=scenario.cache_capacity,
+            n=n,
+            k=k,
+            seed=scenario.seed,
+            rate_scale=scenario.rate_scale,
+            **dict(scenario.workload_params),
+        )
+
+    def build_ten_file(scenario):
+        if scenario.num_files != 10:
+            raise RegistryError(
+                f"workload 'ten_file' is fixed at 10 files, got num_files={scenario.num_files}"
+            )
+        if tuple(scenario.code) != DEFAULT_CODE:
+            raise RegistryError(
+                f"workload 'ten_file' uses the fixed {DEFAULT_CODE} code, got {scenario.code}"
+            )
+        return ten_file_model(
+            cache_capacity=scenario.cache_capacity,
+            seed=scenario.seed,
+            rate_scale=scenario.rate_scale,
+            **dict(scenario.workload_params),
+        )
+
+    WORKLOADS.register(
+        "paper_default",
+        WorkloadSpec(
+            "paper_default",
+            "Section V-A default: 12 heterogeneous servers, (7,4) code, cyclic rates",
+            build_paper_default,
+        ),
+    )
+    WORKLOADS.register(
+        "ten_file",
+        WorkloadSpec(
+            "ten_file",
+            "the 10-file model of Figs. 5-6 (random or split placement)",
+            build_ten_file,
+        ),
+    )
+
+
+_register_builtin_solvers()
+_register_builtin_engines()
+_register_builtin_baselines()
+_register_builtin_workloads()

@@ -1,0 +1,247 @@
+"""The declarative :class:`Scenario` description of one end-to-end run.
+
+A scenario names *what* to run -- workload, erasure code, cache policy,
+solver, simulation engine, seed, scale -- and the
+:class:`~repro.api.session.Session` facade turns it into the paper's
+pipeline (model -> Algorithm-1 optimization -> probabilistic scheduling ->
+simulation).  Every component reference is a registry name, so scenarios
+serialize cleanly (``to_dict`` / ``from_dict``) and new backends plug in
+without touching this class.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple
+
+from repro.api.registry import BASELINES, ENGINES, SOLVERS, WORKLOADS
+from repro.exceptions import ScenarioError
+
+#: Recognised experiment scales.
+SCALES = ("fast", "paper")
+
+#: The cache policy that runs Algorithm 1 (anything else is a baseline name).
+OPTIMAL_POLICY = "optimal"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Frozen, validated description of one optimize/schedule/simulate run.
+
+    Attributes
+    ----------
+    workload:
+        Registered workload builder (``repro.api.list_workloads()``).
+    num_files, cache_capacity:
+        Number of files and cache size in chunks.
+    code:
+        Erasure code ``(n, k)``.
+    policy:
+        ``"optimal"`` (Algorithm 1) or a registered baseline name.
+    solver:
+        Registered Prob-Pi solver, used when ``policy == "optimal"``.
+    engine:
+        Registered simulation engine (sweeps default to ``"batch"``).
+    seed:
+        Root seed for model construction and every simulation stream.
+    scale:
+        ``"fast"`` or ``"paper"``; picks the default simulation horizon.
+    tolerance:
+        Algorithm-1 outer-loop convergence threshold (seconds).
+    rate_scale:
+        Multiplier applied to every arrival rate (load sweeps).
+    simulate:
+        Whether to replay the placement through the simulator.
+    horizon:
+        Simulation horizon in model time units; ``None`` uses the scale
+        default (see :attr:`DEFAULT_HORIZONS`).
+    warmup_fraction:
+        Fraction of the horizon discarded as simulation warm-up.
+    workload_params:
+        Extra keyword arguments for the workload builder.
+    solver_params:
+        Extra keyword arguments for the solver (e.g. ``pi_max_iterations``).
+    """
+
+    workload: str = "paper_default"
+    num_files: int = 100
+    cache_capacity: int = 50
+    code: Tuple[int, int] = (7, 4)
+    policy: str = OPTIMAL_POLICY
+    solver: str = "projected_gradient"
+    engine: str = "batch"
+    seed: int = 2016
+    scale: str = "fast"
+    tolerance: float = 0.01
+    rate_scale: float = 1.0
+    simulate: bool = True
+    horizon: Optional[float] = None
+    warmup_fraction: float = 0.05
+    workload_params: Mapping[str, Any] = field(default_factory=dict)
+    solver_params: Mapping[str, Any] = field(default_factory=dict)
+
+    #: Default simulation horizons per scale (model time units).
+    DEFAULT_HORIZONS: ClassVar[Dict[str, float]] = {"fast": 200_000.0, "paper": 2_000_000.0}
+
+    def __post_init__(self) -> None:
+        if isinstance(self.code, (str, bytes)) or not hasattr(self.code, "__len__") or len(self.code) != 2:
+            raise ScenarioError(f"code must be a (n, k) pair, got {self.code!r}")
+        try:
+            object.__setattr__(self, "code", tuple(int(value) for value in self.code))
+        except (TypeError, ValueError):
+            raise ScenarioError(f"code must be a pair of integers, got {self.code!r}") from None
+        object.__setattr__(self, "workload_params", MappingProxyType(dict(self.workload_params)))
+        object.__setattr__(self, "solver_params", MappingProxyType(dict(self.solver_params)))
+        self._validate()
+
+    def __hash__(self) -> int:
+        # The generated hash would choke on the MappingProxyType fields.
+        # Param *values* stay out of the hash: the generated __eq__ compares
+        # them by value (1 == 1.0, order-insensitive dicts), which no value
+        # serialization reproduces; hashing only the keys keeps the
+        # hash/eq contract, equal-keyed scenarios merely collide.
+        return hash(
+            (
+                self.workload,
+                self.num_files,
+                self.cache_capacity,
+                self.code,
+                self.policy,
+                self.solver,
+                self.engine,
+                self.seed,
+                self.scale,
+                self.tolerance,
+                self.rate_scale,
+                self.simulate,
+                self.horizon,
+                self.warmup_fraction,
+                tuple(sorted(self.workload_params)),
+                tuple(sorted(self.solver_params)),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        # Registry lookups raise RegistryError listing the known names.
+        WORKLOADS.get(self.workload)
+        ENGINES.get(self.engine)
+        SOLVERS.get(self.solver)
+        if self.policy != OPTIMAL_POLICY:
+            BASELINES.get(self.policy)
+        # Type checks first, so e.g. string-typed numbers from a config file
+        # raise ScenarioError instead of a raw comparison TypeError.
+        for name, value in (("num_files", self.num_files), ("cache_capacity", self.cache_capacity)):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ScenarioError(f"{name} must be an integer, got {value!r}")
+        numeric = [
+            ("tolerance", self.tolerance),
+            ("rate_scale", self.rate_scale),
+            ("warmup_fraction", self.warmup_fraction),
+        ]
+        if self.horizon is not None:
+            numeric.append(("horizon", self.horizon))
+        for name, value in numeric:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ScenarioError(f"{name} must be a number, got {value!r}")
+        n, k = self.code
+        if k < 1 or n < k:
+            raise ScenarioError(f"code must satisfy n >= k >= 1, got (n, k) = ({n}, {k})")
+        if self.num_files < 1:
+            raise ScenarioError(f"num_files must be positive, got {self.num_files}")
+        if self.cache_capacity < 0:
+            raise ScenarioError(f"cache_capacity must be non-negative, got {self.cache_capacity}")
+        if self.scale not in SCALES:
+            raise ScenarioError(f"scale must be one of {SCALES}, got {self.scale!r}")
+        if self.tolerance <= 0:
+            raise ScenarioError(f"tolerance must be positive, got {self.tolerance}")
+        if self.rate_scale <= 0:
+            raise ScenarioError(f"rate_scale must be positive, got {self.rate_scale}")
+        if self.horizon is not None and self.horizon <= 0:
+            raise ScenarioError(f"horizon must be positive, got {self.horizon}")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ScenarioError(
+                f"warmup_fraction must lie in [0, 1), got {self.warmup_fraction}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ScenarioError(f"seed must be an integer, got {self.seed!r}")
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Erasure-code length ``n``."""
+        return self.code[0]
+
+    @property
+    def k(self) -> int:
+        """Erasure-code dimension ``k``."""
+        return self.code[1]
+
+    @property
+    def effective_horizon(self) -> float:
+        """The simulation horizon: explicit value or the scale default."""
+        if self.horizon is not None:
+            return self.horizon
+        return self.DEFAULT_HORIZONS[self.scale]
+
+    @property
+    def uses_optimizer(self) -> bool:
+        """Whether this scenario runs Algorithm 1 (vs a baseline policy)."""
+        return self.policy == OPTIMAL_POLICY
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        policy = self.policy if not self.uses_optimizer else f"optimal/{self.solver}"
+        return (
+            f"Scenario({self.workload}: {self.num_files} files, "
+            f"C={self.cache_capacity}, code={self.code}, policy={policy}, "
+            f"engine={self.engine}, seed={self.seed}, scale={self.scale})"
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def replace(self, **changes: Any) -> "Scenario":
+        """A new validated scenario with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dictionary representation (round-trips via from_dict)."""
+        return {
+            "workload": self.workload,
+            "num_files": self.num_files,
+            "cache_capacity": self.cache_capacity,
+            "code": list(self.code),
+            "policy": self.policy,
+            "solver": self.solver,
+            "engine": self.engine,
+            "seed": self.seed,
+            "scale": self.scale,
+            "tolerance": self.tolerance,
+            "rate_scale": self.rate_scale,
+            "simulate": self.simulate,
+            "horizon": self.horizon,
+            "warmup_fraction": self.warmup_fraction,
+            "workload_params": dict(self.workload_params),
+            "solver_params": dict(self.solver_params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Build a scenario from a dictionary, rejecting unknown keys."""
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ScenarioError(
+                f"unknown Scenario fields {unknown}; valid fields: {sorted(known)}"
+            )
+        return cls(**dict(data))

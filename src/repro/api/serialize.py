@@ -1,0 +1,71 @@
+"""Uniform JSON serialization for API results and experiment outputs.
+
+Every result type in the package is a plain dataclass tree over numpy /
+python scalars; :func:`to_jsonable` converts any of them into JSON-safe
+structures so the CLI's ``--json`` mode, :meth:`RunResult.to_json` and the
+``BENCH_<name>.json`` writers all share one serializer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Mapping, Union
+
+import numpy as np
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-serializable structures.
+
+    Dataclasses become dicts, numpy arrays become lists, numpy scalars
+    become python scalars, mapping keys are stringified when needed, and
+    anything else unrepresentable falls back to ``str(obj)``.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj if np.isfinite(obj) else str(obj)
+    if isinstance(obj, np.generic):
+        return to_jsonable(obj.item())
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(value) for value in obj.tolist()]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: to_jsonable(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+    if isinstance(obj, Mapping):
+        converted = {_key(key): to_jsonable(value) for key, value in obj.items()}
+        if len(converted) != len(obj):
+            raise ValueError(
+                f"mapping keys collide after string conversion: {sorted(map(_key, obj))}"
+            )
+        return converted
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(value) for value in obj]
+    if isinstance(obj, (set, frozenset)):
+        # key=repr keeps mixed-type sets sortable.
+        return sorted((to_jsonable(value) for value in obj), key=repr)
+    return str(obj)
+
+
+def _key(key: Any) -> str:
+    if isinstance(key, str):
+        return key
+    if isinstance(key, (tuple, list)):
+        return ",".join(str(part) for part in key)
+    return str(key)
+
+
+def json_dumps(payload: Any, indent: int = 2) -> str:
+    """Serialize any supported object to a JSON string."""
+    return json.dumps(to_jsonable(payload), indent=indent, sort_keys=True)
+
+
+def write_json(path: Union[str, Path], payload: Any, indent: int = 2) -> Path:
+    """Serialize ``payload`` to ``path`` (with a trailing newline)."""
+    path = Path(path)
+    path.write_text(json_dumps(payload, indent=indent) + "\n")
+    return path

@@ -1,0 +1,247 @@
+"""The execution facade: ``Scenario`` in, typed ``RunResult`` out.
+
+:func:`run_scenario` (or a reusable :class:`Session`) drives the paper's
+full pipeline from a single declarative description:
+
+    from repro.api import Scenario, run_scenario
+
+    result = run_scenario(Scenario(num_files=60, cache_capacity=30))
+    print(result.summary())
+    print(result.to_json())
+
+Every stage is resolved through the component registries, so a scenario
+with ``engine="batch"`` or ``policy="whole_file"`` swaps backends without
+any code change.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.api.registry import BASELINES, ENGINES, SOLVERS, WORKLOADS
+from repro.api.scenario import Scenario
+from repro.api.serialize import json_dumps, write_json
+from repro.core.algorithm import OptimizationResult
+from repro.core.model import StorageSystemModel
+from repro.core.placement import CachePlacement, placement_histogram
+from repro.simulation.simulator import SimulationConfig, SimulationResult
+
+
+@dataclass
+class RunResult:
+    """Typed outcome of one scenario run, with uniform JSON serialization.
+
+    Attributes
+    ----------
+    scenario:
+        The scenario that produced this result.
+    placement:
+        The cache placement the policy decided on.
+    optimization:
+        Full Algorithm-1 outcome (``None`` for baseline policies).
+    simulation:
+        Simulation outcome (``None`` when ``scenario.simulate`` is false).
+    timings:
+        Wall-clock seconds per stage (``build_model``, ``optimize`` /
+        ``baseline``, ``simulate``, ``total``).
+    """
+
+    scenario: Scenario
+    placement: CachePlacement
+    optimization: Optional[OptimizationResult] = None
+    simulation: Optional[SimulationResult] = None
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def objective(self) -> float:
+        """The analytical mean-latency bound of the placement."""
+        return self.placement.objective
+
+    @property
+    def simulated_mean_latency(self) -> Optional[float]:
+        """Simulated mean file latency (``None`` without a simulation)."""
+        if self.simulation is None:
+            return None
+        return self.simulation.mean_latency()
+
+    @property
+    def cache_chunk_fraction(self) -> Optional[float]:
+        """Fraction of chunk requests served from the cache (simulated)."""
+        if self.simulation is None:
+            return None
+        return self.simulation.cache_chunk_fraction()
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary of the run."""
+        lines = [self.scenario.describe()]
+        lines.append(
+            f"  analytical bound: {self.objective:.4f}  "
+            f"(cache {self.placement.total_cached_chunks}/{self.placement.cache_capacity} "
+            f"chunks, histogram {placement_histogram(self.placement)})"
+        )
+        if self.optimization is not None:
+            lines.append(
+                f"  Algorithm 1: {self.optimization.outer_iterations} outer iterations, "
+                f"{self.optimization.inner_solves} convex solves, "
+                f"converged={self.optimization.converged}"
+            )
+        if self.simulation is not None:
+            lines.append(
+                f"  simulated ({self.scenario.engine}): mean latency "
+                f"{self.simulation.mean_latency():.4f} over "
+                f"{self.simulation.requests_completed} requests, "
+                f"{self.simulation.cache_chunk_fraction():.1%} of chunks from cache"
+            )
+        lines.append(
+            "  timings: "
+            + ", ".join(f"{stage}={seconds:.3f}s" for stage, seconds in self.timings.items())
+        )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dictionary with scenario, placement and metrics."""
+        payload: Dict[str, Any] = {
+            "scenario": self.scenario.to_dict(),
+            "objective": float(self.objective),
+            "cache_capacity": self.placement.cache_capacity,
+            "total_cached_chunks": self.placement.total_cached_chunks,
+            "cached_chunks": self.placement.cached_chunks(),
+            "timings": dict(self.timings),
+        }
+        if self.optimization is not None:
+            payload["optimization"] = {
+                "converged": self.optimization.converged,
+                "outer_iterations": self.optimization.outer_iterations,
+                "inner_solves": self.optimization.inner_solves,
+                "objective_trace": [float(v) for v in self.optimization.objective_trace],
+            }
+        if self.simulation is not None:
+            payload["simulation"] = {
+                "engine": self.scenario.engine,
+                "mean_latency": self.simulation.mean_latency(),
+                "requests_completed": self.simulation.requests_completed,
+                "chunks_from_cache": self.simulation.chunks_from_cache,
+                "chunks_from_storage": self.simulation.chunks_from_storage,
+                "cache_chunk_fraction": self.simulation.cache_chunk_fraction(),
+                "latency": self.simulation.metrics.summary(),
+            }
+        return payload
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize :meth:`to_dict` as a JSON string."""
+        return json_dumps(self.to_dict(), indent=indent)
+
+    def write_json(self, path: Any) -> Any:
+        """Write :meth:`to_dict` to ``path`` and return the path."""
+        return write_json(path, self.to_dict())
+
+
+class Session:
+    """Reusable executor of scenarios.
+
+    A session keeps the scenario history (``session.results``) and is the
+    natural place for cross-run reuse; scenarios themselves stay immutable.
+    """
+
+    def __init__(self) -> None:
+        self._results: list[RunResult] = []
+
+    @property
+    def results(self) -> list[RunResult]:
+        """All results produced by this session, in run order."""
+        return list(self._results)
+
+    # ------------------------------------------------------------------
+    # Pipeline stages
+    # ------------------------------------------------------------------
+
+    def build_model(self, scenario: Scenario) -> StorageSystemModel:
+        """Materialize the scenario's workload into a system model."""
+        return WORKLOADS.get(scenario.workload).build(scenario)
+
+    def _place(self, scenario: Scenario, model: StorageSystemModel):
+        if scenario.uses_optimizer:
+            solver = SOLVERS.get(scenario.solver)
+            outcome = solver.optimize(
+                model, tolerance=scenario.tolerance, **dict(scenario.solver_params)
+            )
+            return outcome.placement, outcome
+        baseline = BASELINES.get(scenario.policy)
+        return baseline.build(model), None
+
+    def _simulate(
+        self, scenario: Scenario, model: StorageSystemModel, placement: CachePlacement
+    ) -> SimulationResult:
+        engine = ENGINES.get(scenario.engine)
+        horizon = scenario.effective_horizon
+        config = SimulationConfig(
+            horizon=horizon,
+            seed=scenario.seed,
+            warmup=horizon * scenario.warmup_fraction,
+        )
+        return engine.simulate(model, placement, config)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def run(self, scenario: Scenario) -> RunResult:
+        """Execute optimize -> schedule -> simulate for one scenario."""
+        timings: Dict[str, float] = {}
+        started = time.perf_counter()
+
+        stage = time.perf_counter()
+        model = self.build_model(scenario)
+        timings["build_model"] = time.perf_counter() - stage
+
+        stage = time.perf_counter()
+        placement, optimization = self._place(scenario, model)
+        timings["optimize" if scenario.uses_optimizer else "baseline"] = (
+            time.perf_counter() - stage
+        )
+
+        simulation: Optional[SimulationResult] = None
+        if scenario.simulate:
+            stage = time.perf_counter()
+            simulation = self._simulate(scenario, model, placement)
+            timings["simulate"] = time.perf_counter() - stage
+
+        timings["total"] = time.perf_counter() - started
+        result = RunResult(
+            scenario=scenario,
+            placement=placement,
+            optimization=optimization,
+            simulation=simulation,
+            timings=timings,
+        )
+        self._results.append(result)
+        return result
+
+
+def run_scenario(
+    scenario: Optional[Scenario] = None,
+    session: Optional[Session] = None,
+    **fields: Any,
+) -> RunResult:
+    """Run one scenario end-to-end and return its :class:`RunResult`.
+
+    Accepts either a prebuilt :class:`Scenario` (optionally overridden by
+    keyword ``fields``) or the scenario fields directly::
+
+        run_scenario(num_files=60, cache_capacity=30, engine="batch")
+    """
+    if scenario is None:
+        scenario = Scenario(**fields)
+    elif fields:
+        scenario = scenario.replace(**fields)
+    return (session or Session()).run(scenario)

@@ -22,6 +22,7 @@ The implementation operates on the vectorised system for speed and returns a
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -363,6 +364,17 @@ def optimize_cache_placement(
     time_bin: Optional[int] = None,
     **optimizer_kwargs,
 ) -> OptimizationResult:
-    """Convenience wrapper: build a :class:`CacheOptimizer` and run it."""
+    """Deprecated convenience wrapper: build a :class:`CacheOptimizer`, run it.
+
+    .. deprecated:: 1.1.0
+        Use ``CacheOptimizer(model, ...).optimize(...)`` directly, or the
+        declarative facade ``repro.api.run_scenario(Scenario(...))``.
+    """
+    warnings.warn(
+        "optimize_cache_placement() is deprecated; use "
+        "CacheOptimizer(model, ...).optimize(...) or repro.api.run_scenario()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     optimizer = CacheOptimizer(model, tolerance=tolerance, **optimizer_kwargs)
     return optimizer.optimize(initial_state=warm_start, time_bin=time_bin)

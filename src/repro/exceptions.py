@@ -62,3 +62,11 @@ class CacheError(SproutError):
 
 class WorkloadError(SproutError):
     """Raised for invalid workload specifications."""
+
+
+class RegistryError(SproutError):
+    """Raised for invalid registry operations (unknown or duplicate names)."""
+
+
+class ScenarioError(SproutError):
+    """Raised when a :class:`repro.api.Scenario` fails validation."""

@@ -20,6 +20,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.api.deprecation import deprecated_entry_point
+from repro.api.experiments import register_experiment
 from repro.cluster.cluster import CephLikeCluster, ClusterConfig
 from repro.cluster.devices import chunk_size_for_object, hdd_service_for_chunk_size
 from repro.core.algorithm import CacheOptimizer
@@ -177,6 +179,19 @@ def run_for_object_size(
     )
 
 
+@deprecated_entry_point("fig10")
+@register_experiment(
+    "fig10",
+    title="Latency per object size, optimal vs LRU (Fig. 10)",
+    scales={
+        "fast": {
+            "object_sizes_mb": (4, 16, 64),
+            "num_objects": 200,
+            "duration_s": 600.0,
+            "rate_scale": 5.0,
+        }
+    },
+)
 def run(
     object_sizes_mb: Optional[Sequence[int]] = None,
     num_objects: int = 1000,

@@ -15,6 +15,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.api.deprecation import deprecated_entry_point
+from repro.api.experiments import register_experiment
 from repro.cluster.cluster import CephLikeCluster, ClusterConfig
 from repro.core.algorithm import CacheOptimizer
 from repro.experiments.fig10_object_sizes import _analytical_model
@@ -140,6 +142,18 @@ def run_for_rate(
     )
 
 
+@deprecated_entry_point("fig11")
+@register_experiment(
+    "fig11",
+    title="Latency vs workload intensity, optimal vs LRU (Fig. 11)",
+    scales={
+        "fast": {
+            "aggregate_rates": (0.5, 1.0, 2.0),
+            "num_objects": 200,
+            "duration_s": 600.0,
+        }
+    },
+)
 def run(
     aggregate_rates: Sequence[float] = (0.5, 1.0, 2.0, 4.0, 8.0),
     object_size_mb: int = 64,

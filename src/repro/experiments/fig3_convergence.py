@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.api.deprecation import deprecated_entry_point
+from repro.api.experiments import register_experiment
 from repro.core.algorithm import CacheOptimizer
 from repro.core.bound import SolutionState
 from repro.core.vectorized import VectorizedSystem
@@ -46,6 +48,12 @@ class Fig3Result:
         return max(curve.outer_iterations for curve in self.curves)
 
 
+@deprecated_entry_point("fig3")
+@register_experiment(
+    "fig3",
+    title="Convergence of Algorithm 1 (Fig. 3)",
+    scales={"fast": {"cache_sizes": (20, 40, 60, 80, 100), "num_files": 100}},
+)
 def run(
     cache_sizes: Sequence[int] = (100, 200, 300, 400, 500, 600, 700),
     num_files: int = 1000,

@@ -13,9 +13,12 @@ chunks displace the other files' chunks in the cache.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.api.deprecation import deprecated_entry_point
+from repro.api.experiments import register_experiment
 from repro.core.algorithm import CacheOptimizer
+from repro.simulation.simulator import SimulationConfig, StorageSimulator
 from repro.workloads.defaults import ten_file_model
 
 #: The arrival rates the paper sweeps for the first two files (requests/s).
@@ -43,6 +46,7 @@ class SweepPoint:
     chunks_files_2_3: int
     chunks_last_six: int
     total_cached: int
+    simulated_latency: Optional[float] = None
 
 
 @dataclass
@@ -68,19 +72,30 @@ def _arrival_rates(rate_first_two: float) -> List[float]:
     return rates
 
 
+@deprecated_entry_point("fig6")
+@register_experiment(
+    "fig6",
+    title="Placement and arrival-rate impact (Fig. 6)",
+)
 def run(
     sweep_rates: Sequence[float] = tuple(PAPER_SWEEP_RATES),
     cache_capacity: int = 10,
     rate_scale: float = 80.0,
     tolerance: float = 0.001,
     seed: int = 2016,
+    simulate: bool = False,
+    engine: str = "batch",
+    horizon: float = 5000.0,
 ) -> Fig6Result:
     """Run the Fig. 6 placement/arrival-rate sweep.
 
     ``rate_scale`` plays the same role as in the Fig. 5 experiment: the
     Table rates are scaled so that queueing (and hence caching) matters on a
     10-file system without background load, while preserving the relative
-    ordering the figure is about.
+    ordering the figure is about.  With ``simulate=True`` each sweep point's
+    optimized placement is additionally replayed through the storage
+    simulator (``engine`` picks the backend, batch by default) and the
+    simulated mean latency recorded per point.
     """
     result = Fig6Result(cache_capacity=cache_capacity)
     for rate in sweep_rates:
@@ -97,6 +112,11 @@ def run(
         chunks_first_two = cached["file-0"] + cached["file-1"]
         chunks_files_2_3 = cached["file-2"] + cached["file-3"]
         chunks_last_six = sum(cached[f"file-{index}"] for index in range(4, 10))
+        simulated_latency: Optional[float] = None
+        if simulate:
+            simulator = StorageSimulator(model, placement, engine=engine)
+            config = SimulationConfig(horizon=horizon, seed=seed, warmup=horizon * 0.1)
+            simulated_latency = simulator.run(config).mean_latency()
         result.points.append(
             SweepPoint(
                 rate_first_two=rate,
@@ -104,6 +124,7 @@ def run(
                 chunks_files_2_3=chunks_files_2_3,
                 chunks_last_six=chunks_last_six,
                 total_cached=placement.total_cached_chunks,
+                simulated_latency=simulated_latency,
             )
         )
     return result

@@ -23,6 +23,8 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.api.deprecation import deprecated_entry_point
+from repro.api.experiments import register_experiment
 from repro.cluster.devices import hdd_service_for_chunk_size, nearest_measured_chunk_size
 from repro.core.algorithm import CacheOptimizer
 from repro.core.model import FileSpec, StorageSystemModel
@@ -79,6 +81,12 @@ def _build_model(
     )
 
 
+@deprecated_entry_point("fig7")
+@register_experiment(
+    "fig7",
+    title="Cache vs storage chunk scheduling (Fig. 7)",
+    scales={"fast": {"num_objects": 200, "cache_capacity_chunks": 250}},
+)
 def run(
     per_object_rates: Sequence[float] = (0.0225, 0.0384),
     num_objects: int = 1000,

@@ -16,6 +16,8 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.api.deprecation import deprecated_entry_point
+from repro.api.experiments import register_experiment
 from repro.cluster.devices import HDD_SERVICE_TABLE, hdd_service_for_chunk_size
 
 
@@ -70,17 +72,71 @@ class Fig9Result:
         return rows
 
 
+def _simulated_service_samples(
+    service, samples_per_size: int, seed: int, engine: str, utilization: float = 0.02
+) -> np.ndarray:
+    """Draw service samples by replaying reads through a simulation engine.
+
+    A single (1,1)-coded probe file on one OSD-like node is read at low
+    utilization, so the recorded per-request latencies are (almost pure)
+    service-time draws from the emulated device -- the full read path of the
+    chosen engine rather than a direct call to ``service.sample``.
+    """
+    from repro.core.model import FileSpec, StorageSystemModel
+    from repro.simulation.simulator import SimulationConfig, StorageSimulator
+
+    arrival_rate = utilization / service.mean
+    model = StorageSystemModel(
+        services=[service],
+        files=[
+            FileSpec(
+                file_id="probe",
+                n=1,
+                k=1,
+                placement=[0],
+                arrival_rate=arrival_rate,
+            )
+        ],
+        cache_capacity=0,
+    )
+    horizon = samples_per_size / arrival_rate
+    simulator = StorageSimulator(model, placement=None, engine=engine)
+    result = simulator.run(SimulationConfig(horizon=horizon, seed=seed))
+    return result.metrics.all_latencies()
+
+
+@deprecated_entry_point("fig9")
+@register_experiment(
+    "fig9",
+    title="Chunk service-time CDF (Fig. 9 / Table IV)",
+    scales={"fast": {"samples_per_size": 5000}, "paper": {"samples_per_size": 20000}},
+)
 def run(
     chunk_sizes_mb: Sequence[int] = (1, 4, 16, 64, 256),
     samples_per_size: int = 5000,
     seed: int = 2016,
+    via_simulator: bool = False,
+    engine: str = "batch",
 ) -> Fig9Result:
-    """Sample the emulated HDD service-time distributions."""
+    """Sample the emulated HDD service-time distributions.
+
+    With ``via_simulator=True`` the samples are produced by replaying reads
+    of a single-chunk probe file through the chosen simulation ``engine``
+    instead of sampling the distribution object directly, exercising the
+    full emulated read path.
+    """
     rng = np.random.default_rng(seed)
     result = Fig9Result(samples_per_size=samples_per_size)
     for chunk_size in chunk_sizes_mb:
         service = hdd_service_for_chunk_size(chunk_size)
-        samples = np.asarray(service.sample(rng, size=samples_per_size), dtype=float)
+        if via_simulator:
+            samples = _simulated_service_samples(
+                service, samples_per_size, seed, engine
+            )
+        else:
+            samples = np.asarray(
+                service.sample(rng, size=samples_per_size), dtype=float
+            )
         table_row = HDD_SERVICE_TABLE[chunk_size]
         result.cdfs.append(
             ServiceTimeCdf(

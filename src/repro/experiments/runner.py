@@ -1,11 +1,18 @@
-"""Command-line runner for the experiment harness.
+"""Command-line runner for the declarative experiment registry.
 
 ``python -m repro.experiments <name>`` (or the ``sprout-experiments``
-console script) regenerates any table or figure of the paper.  Each
-experiment accepts a ``--scale`` option: ``fast`` runs a reduced but
-shape-preserving configuration in seconds; ``paper`` runs the full
-configuration of the paper (1000 files, 1800-second benchmarks), which takes
-considerably longer.
+console script) regenerates any table or figure of the paper through the
+:mod:`repro.api` experiment registry.  Each experiment carries per-scale
+parameter sets: ``--scale fast`` runs a reduced but shape-preserving
+configuration in seconds; ``--scale paper`` runs the full configuration of
+the paper (1000 files, 1800-second benchmarks), which takes considerably
+longer.  Uniform flags forwarded to every experiment that supports them:
+
+* ``--engine {batch,event,...}`` -- override the simulation engine,
+* ``--seed N`` -- override the experiment's root seed,
+* ``--json`` -- emit the machine-readable result instead of the text report,
+* ``--list`` -- show every registered experiment, solver, engine, baseline
+  and workload.
 """
 
 from __future__ import annotations
@@ -13,105 +20,76 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
-from repro.experiments import (
-    fig3_convergence,
-    fig4_cache_size,
-    fig5_evolution,
-    fig6_placement,
-    fig7_scheduling,
-    fig9_service_cdf,
-    fig10_object_sizes,
-    fig11_arrival_rates,
-    tables,
+# Importing the package registers every experiment module with the registry.
+import repro.experiments  # noqa: F401  (self-registration side effect)
+from repro.api.registry import (
+    BASELINES,
+    ENGINES,
+    EXPERIMENTS as EXPERIMENT_REGISTRY,
+    SOLVERS,
+    WORKLOADS,
 )
+from repro.api.serialize import json_dumps
 
 
-def _run_fig3(scale: str) -> str:
-    if scale == "paper":
-        result = fig3_convergence.run()
-    else:
-        result = fig3_convergence.run(
-            cache_sizes=(20, 40, 60, 80, 100), num_files=100
+def run_experiment(
+    name: str,
+    scale: str = "fast",
+    *,
+    engine: Optional[str] = None,
+    seed: Optional[int] = None,
+    as_json: bool = False,
+) -> str:
+    """Run one registered experiment and return its formatted report.
+
+    With ``as_json=True`` the report is a JSON document carrying the full
+    typed result; otherwise it is the experiment's text rendering under a
+    timing header.
+    """
+    spec = EXPERIMENT_REGISTRY.get(name)
+    started = time.time()
+    result = spec.run(scale=scale, engine=engine, seed=seed)
+    elapsed = time.time() - started
+    if as_json:
+        return json_dumps(
+            {
+                "experiment": name,
+                "title": spec.title,
+                "scale": scale,
+                # Uniform flags the experiment does not accept are dropped by
+                # spec.run; null them here so the payload never claims an
+                # engine/seed the run did not actually use.
+                "engine": engine if engine is not None and spec.accepts("engine") else None,
+                "seed": seed if seed is not None and spec.accepts("seed") else None,
+                "elapsed_seconds": elapsed,
+                "result": result,
+            }
         )
-    return fig3_convergence.format_result(result)
+    header = f"=== {name}: {spec.title} (scale={scale}, {elapsed:.1f}s) ==="
+    return f"{header}\n{spec.format(result)}\n"
 
 
-def _run_fig4(scale: str) -> str:
-    if scale == "paper":
-        result = fig4_cache_size.run()
-    else:
-        result = fig4_cache_size.run(num_files=100)
-    return fig4_cache_size.format_result(result)
-
-
-def _run_fig5(scale: str) -> str:
-    result = fig5_evolution.run()
-    return fig5_evolution.format_result(result)
-
-
-def _run_fig6(scale: str) -> str:
-    result = fig6_placement.run()
-    return fig6_placement.format_result(result)
-
-
-def _run_fig7(scale: str) -> str:
-    if scale == "paper":
-        result = fig7_scheduling.run()
-    else:
-        result = fig7_scheduling.run(num_objects=200, cache_capacity_chunks=250)
-    return fig7_scheduling.format_result(result)
-
-
-def _run_fig9(scale: str) -> str:
-    samples = 20000 if scale == "paper" else 5000
-    result = fig9_service_cdf.run(samples_per_size=samples)
-    return fig9_service_cdf.format_result(result)
-
-
-def _run_fig10(scale: str) -> str:
-    if scale == "paper":
-        result = fig10_object_sizes.run()
-    else:
-        result = fig10_object_sizes.run(
-            object_sizes_mb=(4, 16, 64),
-            num_objects=200,
-            duration_s=600.0,
-            rate_scale=5.0,
-        )
-    return fig10_object_sizes.format_result(result)
-
-
-def _run_fig11(scale: str) -> str:
-    if scale == "paper":
-        result = fig11_arrival_rates.run()
-    else:
-        result = fig11_arrival_rates.run(
-            aggregate_rates=(0.5, 1.0, 2.0),
-            num_objects=200,
-            duration_s=600.0,
-        )
-    return fig11_arrival_rates.format_result(result)
-
-
-def _run_tables(scale: str) -> str:
-    samples = 20000 if scale == "paper" else 5000
-    result = tables.run(samples=samples)
-    return tables.format_result(result)
-
-
-EXPERIMENTS: Dict[str, Tuple[str, Callable[[str], str]]] = {
-    "fig3": ("Convergence of Algorithm 1 (Fig. 3)", _run_fig3),
-    "fig4": ("Latency vs cache size (Fig. 4)", _run_fig4),
-    "fig5": ("Cache content evolution over time bins (Fig. 5 / Table I)", _run_fig5),
-    "fig6": ("Placement and arrival-rate impact (Fig. 6)", _run_fig6),
-    "fig7": ("Cache vs storage chunk scheduling (Fig. 7)", _run_fig7),
-    "fig9": ("Chunk service-time CDF (Fig. 9 / Table IV)", _run_fig9),
-    "fig10": ("Latency per object size, optimal vs LRU (Fig. 10)", _run_fig10),
-    "fig11": ("Latency vs workload intensity, optimal vs LRU (Fig. 11)", _run_fig11),
-    "tables": ("Tables I, III, IV, V", _run_tables),
-}
+def format_listing() -> str:
+    """Render every registered component as the ``--list`` report."""
+    lines = ["Registered experiments:"]
+    width = max(len(name) for name in EXPERIMENT_REGISTRY.names())
+    for name, spec in EXPERIMENT_REGISTRY.items():
+        lines.append(f"  {name:<{width}}  {spec.title}")
+    sections = (
+        ("solvers", SOLVERS),
+        ("engines", ENGINES),
+        ("baselines", BASELINES),
+        ("workloads", WORKLOADS),
+    )
+    for label, registry in sections:
+        lines.append("")
+        lines.append(f"Registered {label}:")
+        width = max(len(name) for name in registry.names())
+        for name, spec in registry.items():
+            lines.append(f"  {name:<{width}}  {spec.description}")
+    return "\n".join(lines)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -122,7 +100,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
+        nargs="?",
+        choices=EXPERIMENT_REGISTRY.names() + ["all"],
         help="which experiment to run ('all' runs every one)",
     )
     parser.add_argument(
@@ -132,27 +111,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="'fast' runs a reduced shape-preserving configuration; "
         "'paper' runs the full-size configuration",
     )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES.names(),
+        default=None,
+        help="override the simulation engine for experiments that simulate",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the experiment's root random seed",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the machine-readable JSON result instead of the text report",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_components",
+        help="list every registered experiment, solver, engine, baseline and workload",
+    )
     return parser
-
-
-def run_experiment(name: str, scale: str) -> str:
-    """Run one experiment by name and return its formatted report."""
-    description, runner = EXPERIMENTS[name]
-    started = time.time()
-    report = runner(scale)
-    elapsed = time.time() - started
-    header = f"=== {name}: {description} (scale={scale}, {elapsed:.1f}s) ==="
-    return f"{header}\n{report}\n"
 
 
 def main(argv=None) -> int:
     """Entry point of the ``sprout-experiments`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        print(run_experiment(name, args.scale))
+    if args.list_components:
+        print(format_listing())
+        return 0
+    if args.experiment is None:
+        parser.error("an experiment name (or 'all', or --list) is required")
+    names = EXPERIMENT_REGISTRY.names() if args.experiment == "all" else [args.experiment]
+    reports = [
+        run_experiment(
+            name,
+            args.scale,
+            engine=args.engine,
+            seed=args.seed,
+            as_json=args.as_json,
+        )
+        for name in names
+    ]
+    if args.as_json and len(reports) > 1:
+        # Keep 'all --json' a single valid JSON document.
+        print("[\n" + ",\n".join(reports) + "\n]")
+    else:
+        for report in reports:
+            print(report)
     return 0
+
+
+def _legacy_runner(name: str) -> Callable[[str], str]:
+    def run(scale: str) -> str:
+        spec = EXPERIMENT_REGISTRY.get(name)
+        return spec.format(spec.run(scale=scale))
+
+    return run
+
+
+#: Backwards-compatible view of the registry under the pre-1.1 public name:
+#: name -> (description, runner), exactly the dict this module used to hold.
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[str], str]]] = {
+    name: (spec.title, _legacy_runner(name))
+    for name, spec in EXPERIMENT_REGISTRY.items()
+}
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via the CLI

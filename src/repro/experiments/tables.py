@@ -12,6 +12,8 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.api.deprecation import deprecated_entry_point
+from repro.api.experiments import register_experiment
 from repro.cluster.devices import (
     HDD_SERVICE_TABLE,
     SSD_CACHE_LATENCY_TABLE,
@@ -50,6 +52,12 @@ class TablesResult:
     table_v: List[TableVRow] = field(default_factory=list)
 
 
+@deprecated_entry_point("tables")
+@register_experiment(
+    "tables",
+    title="Tables I, III, IV, V",
+    scales={"fast": {"samples": 5000}, "paper": {"samples": 20000}},
+)
 def run(samples: int = 20000, seed: int = 2016) -> TablesResult:
     """Regenerate Tables III-V (sampling the emulated devices for IV/V)."""
     rng = np.random.default_rng(seed)

@@ -161,8 +161,9 @@ class TestAlgorithm1:
         with pytest.raises(OptimizationError):
             CacheOptimizer(small_model, pi_solver="bogus")
 
-    def test_convenience_wrapper(self, small_model):
-        outcome = optimize_cache_placement(small_model, tolerance=0.01, time_bin=7)
+    def test_convenience_wrapper_deprecated(self, small_model):
+        with pytest.warns(DeprecationWarning, match="optimize_cache_placement"):
+            outcome = optimize_cache_placement(small_model, tolerance=0.01, time_bin=7)
         assert outcome.placement.time_bin == 7
 
     def test_overloaded_system_still_uses_cache(self, small_model):

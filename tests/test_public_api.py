@@ -10,11 +10,22 @@ from repro import exceptions
 
 class TestPublicApi:
     def test_version_exposed(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_top_level_exports_resolve(self):
         for name in repro.__all__:
             assert getattr(repro, name) is not None
+
+    def test_api_facade_exports_resolve(self):
+        import repro.api as api
+
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_facade_reexported_at_top_level(self):
+        assert repro.Scenario is repro.api.Scenario
+        assert repro.run_scenario is repro.api.run_scenario
+        assert repro.run_experiment is repro.api.run_experiment
 
     def test_subpackage_exports_resolve(self):
         import repro.baselines as baselines
@@ -31,12 +42,21 @@ class TestPublicApi:
 
     def test_quickstart_snippet_from_docstring(self):
         # The module docstring promises this three-line workflow.
-        from repro.core import CacheOptimizer
-        from repro.workloads import paper_default_model
+        from repro import Scenario, run_scenario
 
-        model = paper_default_model(num_files=10, cache_capacity=5)
-        placement = CacheOptimizer(model, tolerance=0.05).optimize().placement
-        assert placement.total_cached_chunks <= 5
+        result = run_scenario(
+            Scenario(num_files=10, cache_capacity=5, tolerance=0.05, simulate=False)
+        )
+        assert result.placement.total_cached_chunks <= 5
+        assert "analytical bound" in result.summary()
+
+    def test_optimize_cache_placement_is_deprecated_but_works(self):
+        from repro.workloads.defaults import paper_default_model
+
+        model = paper_default_model(num_files=5, cache_capacity=2)
+        with pytest.warns(DeprecationWarning, match="optimize_cache_placement"):
+            outcome = repro.optimize_cache_placement(model, tolerance=0.05)
+        assert outcome.placement.total_cached_chunks <= 2
 
 
 class TestExceptionHierarchy:
@@ -55,6 +75,8 @@ class TestExceptionHierarchy:
             exceptions.ObjectNotFoundError,
             exceptions.CacheError,
             exceptions.WorkloadError,
+            exceptions.RegistryError,
+            exceptions.ScenarioError,
         ]
         for exception_type in leaf_exceptions:
             assert issubclass(exception_type, exceptions.SproutError)
