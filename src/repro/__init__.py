@@ -12,6 +12,8 @@ The package is organised as:
   Algorithm 1 (alternating minimization with integer rounding).
 * :mod:`repro.scheduling` -- probabilistic request scheduling.
 * :mod:`repro.simulation` -- the event and batch simulation engines.
+* :mod:`repro.policies` -- the pluggable cache-policy layer (LRU, LFU,
+  ARC, TTL, static functional) behind one protocol.
 * :mod:`repro.baselines` -- LRU, exact-caching and static baselines.
 * :mod:`repro.cluster` -- Ceph-like cluster emulation (equivalent-code pools,
   LRU cache tier, measured device latencies).
@@ -43,9 +45,11 @@ from repro.api.experiments import get_experiment, register_experiment, run_exper
 from repro.api.registry import (
     register_baseline,
     register_engine,
+    register_policy,
     register_solver,
     register_workload,
 )
+from repro.policies import ChunkCachingPolicy
 
 __version__ = "1.1.0"
 
@@ -61,7 +65,9 @@ __all__ = [
     "register_engine",
     "register_baseline",
     "register_workload",
+    "register_policy",
     "register_experiment",
+    "ChunkCachingPolicy",
     # core building blocks
     "CacheOptimizer",
     "optimize_cache_placement",

@@ -40,24 +40,29 @@ from repro.api.registry import (
     BASELINES,
     ENGINES,
     EXPERIMENTS,
+    POLICIES,
     SOLVERS,
     WORKLOADS,
     BaselineSpec,
     EngineSpec,
+    PolicySpec,
     Registry,
     SolverSpec,
     WorkloadSpec,
     get_baseline,
     get_engine,
+    get_policy,
     get_solver,
     get_workload,
     list_baselines,
     list_engines,
     list_experiments,
+    list_policies,
     list_solvers,
     list_workloads,
     register_baseline,
     register_engine,
+    register_policy,
     register_solver,
     register_workload,
 )
@@ -85,23 +90,28 @@ __all__ = [
     "EngineSpec",
     "BaselineSpec",
     "WorkloadSpec",
+    "PolicySpec",
     "SOLVERS",
     "ENGINES",
     "BASELINES",
     "WORKLOADS",
+    "POLICIES",
     "EXPERIMENTS",
     "register_solver",
     "register_engine",
     "register_baseline",
     "register_workload",
+    "register_policy",
     "get_solver",
     "get_engine",
     "get_baseline",
     "get_workload",
+    "get_policy",
     "list_solvers",
     "list_engines",
     "list_baselines",
     "list_workloads",
+    "list_policies",
     # serialization
     "to_jsonable",
     "json_dumps",

@@ -137,13 +137,15 @@ def register_experiment(
     """
 
     def decorate(func: Callable[..., Any]) -> Callable[..., Any]:
+        doc = (func.__doc__ or "").strip()
+        first_doc_line = doc.splitlines()[0] if doc else ""
         spec = ExperimentSpec(
             name=name,
             title=title,
             runner=func,
             module=func.__module__,
             scales={key: dict(value) for key, value in (scales or {}).items()},
-            description=description,
+            description=description or first_doc_line,
         )
         EXPERIMENTS.register(name, spec)
         return func

@@ -44,8 +44,14 @@ class Registry(Generic[T]):
         the :mod:`repro.experiments` modules and register on import).
     """
 
-    def __init__(self, kind: str, populate: Optional[Callable[[], None]] = None):
+    def __init__(
+        self,
+        kind: str,
+        populate: Optional[Callable[[], None]] = None,
+        plural: Optional[str] = None,
+    ):
         self._kind = kind
+        self._plural = plural if plural is not None else f"{kind}s"
         self._entries: Dict[str, T] = {}
         self._populate = populate
         self._populating = False
@@ -90,7 +96,7 @@ class Registry(Generic[T]):
         except KeyError:
             known = ", ".join(sorted(self._entries)) or "<none>"
             raise RegistryError(
-                f"unknown {self._kind} {name!r}; registered {self._kind}s: {known}"
+                f"unknown {self._kind} {name!r}; registered {self._plural}: {known}"
             ) from None
 
     def names(self) -> List[str]:
@@ -169,6 +175,20 @@ class WorkloadSpec:
     build: Callable[..., Any]
 
 
+@dataclass(frozen=True)
+class PolicySpec:
+    """A chunk-caching policy backend.
+
+    ``factory(capacity_chunks, chunks_per_file=None, **params)`` must return
+    a :class:`~repro.policies.base.ChunkCachingPolicy`; ``params`` carry the
+    scenario's ``policy_params`` (e.g. ``ttl`` for the TTL policy).
+    """
+
+    name: str
+    description: str
+    factory: Callable[..., Any]
+
+
 # ----------------------------------------------------------------------
 # The registries
 # ----------------------------------------------------------------------
@@ -184,6 +204,7 @@ SOLVERS: Registry[SolverSpec] = Registry("solver")
 ENGINES: Registry[EngineSpec] = Registry("engine")
 BASELINES: Registry[BaselineSpec] = Registry("baseline")
 WORKLOADS: Registry[WorkloadSpec] = Registry("workload")
+POLICIES: Registry[PolicySpec] = Registry("cache policy", plural="cache policies")
 EXPERIMENTS: Registry[Any] = Registry("experiment", populate=_import_experiment_modules)
 
 
@@ -245,6 +266,29 @@ def register_workload(name: str, description: str = "") -> Callable[[Callable[..
     return decorate
 
 
+def register_policy(name: str, description: str = "") -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register a :class:`ChunkCachingPolicy` factory as a cache policy.
+
+    The decorated callable (a policy class works directly) must accept
+    ``(capacity_chunks, chunks_per_file=None, **params)``.  Registered
+    policies become valid ``Scenario(policy=...)`` values and are available
+    to the cluster cache tier and the trace-replay engines by name.
+    """
+
+    def decorate(factory: Callable[..., Any]) -> Callable[..., Any]:
+        POLICIES.register(
+            name,
+            PolicySpec(
+                name=name,
+                description=description or _first_doc_line(factory),
+                factory=factory,
+            ),
+        )
+        return factory
+
+    return decorate
+
+
 # ----------------------------------------------------------------------
 # Lookup helpers (re-exported by repro.api)
 # ----------------------------------------------------------------------
@@ -270,6 +314,11 @@ def get_workload(name: str) -> WorkloadSpec:
     return WORKLOADS.get(name)
 
 
+def get_policy(name: str) -> PolicySpec:
+    """Look up a registered cache policy."""
+    return POLICIES.get(name)
+
+
 def list_solvers() -> List[str]:
     """Names of the registered solvers."""
     return SOLVERS.names()
@@ -288,6 +337,11 @@ def list_baselines() -> List[str]:
 def list_workloads() -> List[str]:
     """Names of the registered workload builders."""
     return WORKLOADS.names()
+
+
+def list_policies() -> List[str]:
+    """Names of the registered cache policies."""
+    return POLICIES.names()
 
 
 def list_experiments() -> List[str]:
@@ -433,7 +487,32 @@ def _register_builtin_workloads() -> None:
     )
 
 
+def _register_builtin_policies() -> None:
+    from repro.policies import (
+        ARCPolicy,
+        LFUPolicy,
+        LRUPolicy,
+        StaticFunctionalPolicy,
+        TTLPolicy,
+    )
+
+    entries = (
+        ("lru", "least-recently-used whole-object caching (Ceph cache tier)", LRUPolicy),
+        ("lfu", "least-frequently-used whole-object caching (LRU tie-break)", LFUPolicy),
+        ("arc", "ARC-style adaptive caching with ghost lists", ARCPolicy),
+        ("ttl", "time-to-live caching (entries expire; ttl=inf means FIFO)", TTLPolicy),
+        (
+            "functional_static",
+            "static functional cache: fixed d_i chunks per file, no eviction",
+            StaticFunctionalPolicy,
+        ),
+    )
+    for policy_name, blurb, factory in entries:
+        POLICIES.register(policy_name, PolicySpec(policy_name, blurb, factory))
+
+
 _register_builtin_solvers()
 _register_builtin_engines()
 _register_builtin_baselines()
 _register_builtin_workloads()
+_register_builtin_policies()

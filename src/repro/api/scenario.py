@@ -16,8 +16,8 @@ from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple
 
-from repro.api.registry import BASELINES, ENGINES, SOLVERS, WORKLOADS
-from repro.exceptions import ScenarioError
+from repro.api.registry import BASELINES, ENGINES, POLICIES, SOLVERS, WORKLOADS
+from repro.exceptions import RegistryError, ScenarioError
 
 #: Recognised experiment scales.
 SCALES = ("fast", "paper")
@@ -39,7 +39,10 @@ class Scenario:
     code:
         Erasure code ``(n, k)``.
     policy:
-        ``"optimal"`` (Algorithm 1) or a registered baseline name.
+        ``"optimal"`` (Algorithm 1), a registered baseline name, or a
+        registered cache policy name (``repro.api.list_policies()``); a
+        cache policy is warmed on a seeded trace and its chunk-occupancy
+        snapshot becomes the placement.
     solver:
         Registered Prob-Pi solver, used when ``policy == "optimal"``.
     engine:
@@ -63,6 +66,9 @@ class Scenario:
         Extra keyword arguments for the workload builder.
     solver_params:
         Extra keyword arguments for the solver (e.g. ``pi_max_iterations``).
+    policy_params:
+        Extra keyword arguments for a registered cache policy (e.g.
+        ``ttl`` for the TTL policy); only valid with a cache policy.
     """
 
     workload: str = "paper_default"
@@ -81,6 +87,7 @@ class Scenario:
     warmup_fraction: float = 0.05
     workload_params: Mapping[str, Any] = field(default_factory=dict)
     solver_params: Mapping[str, Any] = field(default_factory=dict)
+    policy_params: Mapping[str, Any] = field(default_factory=dict)
 
     #: Default simulation horizons per scale (model time units).
     DEFAULT_HORIZONS: ClassVar[Dict[str, float]] = {"fast": 200_000.0, "paper": 2_000_000.0}
@@ -94,6 +101,7 @@ class Scenario:
             raise ScenarioError(f"code must be a pair of integers, got {self.code!r}") from None
         object.__setattr__(self, "workload_params", MappingProxyType(dict(self.workload_params)))
         object.__setattr__(self, "solver_params", MappingProxyType(dict(self.solver_params)))
+        object.__setattr__(self, "policy_params", MappingProxyType(dict(self.policy_params)))
         self._validate()
 
     def __hash__(self) -> int:
@@ -120,6 +128,7 @@ class Scenario:
                 self.warmup_fraction,
                 tuple(sorted(self.workload_params)),
                 tuple(sorted(self.solver_params)),
+                tuple(sorted(self.policy_params)),
             )
         )
 
@@ -132,8 +141,23 @@ class Scenario:
         WORKLOADS.get(self.workload)
         ENGINES.get(self.engine)
         SOLVERS.get(self.solver)
-        if self.policy != OPTIMAL_POLICY:
-            BASELINES.get(self.policy)
+        if (
+            self.policy != OPTIMAL_POLICY
+            and self.policy not in BASELINES
+            and self.policy not in POLICIES
+        ):
+            baselines = ", ".join(BASELINES.names()) or "<none>"
+            policies = ", ".join(POLICIES.names()) or "<none>"
+            raise RegistryError(
+                f"unknown baseline or cache policy {self.policy!r}; "
+                f"registered baselines: {baselines}; "
+                f"registered cache policies: {policies}"
+            )
+        if self.policy_params and not self.uses_cache_policy:
+            raise ScenarioError(
+                f"policy_params only apply to a registered cache policy, "
+                f"not policy={self.policy!r}"
+            )
         # Type checks first, so e.g. string-typed numbers from a config file
         # raise ScenarioError instead of a raw comparison TypeError.
         for name, value in (("num_files", self.num_files), ("cache_capacity", self.cache_capacity)):
@@ -197,6 +221,18 @@ class Scenario:
         """Whether this scenario runs Algorithm 1 (vs a baseline policy)."""
         return self.policy == OPTIMAL_POLICY
 
+    @property
+    def uses_cache_policy(self) -> bool:
+        """Whether ``policy`` names a registered dynamic cache policy.
+
+        Baseline names win on collision, preserving pre-policy behaviour.
+        """
+        return (
+            self.policy != OPTIMAL_POLICY
+            and self.policy not in BASELINES
+            and self.policy in POLICIES
+        )
+
     def describe(self) -> str:
         """One-line human-readable summary."""
         policy = self.policy if not self.uses_optimizer else f"optimal/{self.solver}"
@@ -233,6 +269,7 @@ class Scenario:
             "warmup_fraction": self.warmup_fraction,
             "workload_params": dict(self.workload_params),
             "solver_params": dict(self.solver_params),
+            "policy_params": dict(self.policy_params),
         }
 
     @classmethod

@@ -20,7 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-from repro.api.registry import BASELINES, ENGINES, SOLVERS, WORKLOADS
+from repro.api.registry import BASELINES, ENGINES, POLICIES, SOLVERS, WORKLOADS
 from repro.api.scenario import Scenario
 from repro.api.serialize import json_dumps, write_json
 from repro.core.algorithm import OptimizationResult
@@ -176,6 +176,18 @@ class Session:
                 model, tolerance=scenario.tolerance, **dict(scenario.solver_params)
             )
             return outcome.placement, outcome
+        if scenario.uses_cache_policy:
+            from repro.policies import placement_from_trace_replay
+
+            spec = POLICIES.get(scenario.policy)
+            chunks_per_file = {file.file_id: file.k for file in model.files}
+            policy = spec.factory(
+                model.cache_capacity, chunks_per_file, **dict(scenario.policy_params)
+            )
+            placement = placement_from_trace_replay(
+                model, policy, seed=scenario.seed
+            )
+            return placement, None
         baseline = BASELINES.get(scenario.policy)
         return baseline.build(model), None
 
@@ -206,9 +218,13 @@ class Session:
 
         stage = time.perf_counter()
         placement, optimization = self._place(scenario, model)
-        timings["optimize" if scenario.uses_optimizer else "baseline"] = (
-            time.perf_counter() - stage
-        )
+        if scenario.uses_optimizer:
+            place_stage = "optimize"
+        elif scenario.uses_cache_policy:
+            place_stage = "policy"
+        else:
+            place_stage = "baseline"
+        timings[place_stage] = time.perf_counter() - stage
 
         simulation: Optional[SimulationResult] = None
         if scenario.simulate:

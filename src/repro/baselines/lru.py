@@ -98,22 +98,32 @@ class LRUCache:
         """Check membership without updating recency or statistics."""
         return key in self._entries
 
-    def insert(self, key: object, size: int = 1) -> None:
-        """Insert ``key`` (evicting LRU entries to make room)."""
+    def touch(self, key: object) -> bool:
+        """Refresh recency of ``key`` without touching statistics."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return True
+        return False
+
+    def insert(self, key: object, size: int = 1) -> List[Tuple[object, int]]:
+        """Insert ``key``; returns the ``(key, size)`` LRU victims evicted."""
         if size <= 0:
             raise CacheError(f"entry size must be positive, got {size}")
         if size > self._capacity:
             # Object larger than the whole cache: not cacheable, nothing to do.
-            return
+            return []
         if key in self._entries:
             self._used -= self._entries.pop(key)
+        victims: List[Tuple[object, int]] = []
         while self._used + size > self._capacity and self._entries:
-            _, evicted_size = self._entries.popitem(last=False)
+            evicted_key, evicted_size = self._entries.popitem(last=False)
             self._used -= evicted_size
             self.stats.evictions += 1
+            victims.append((evicted_key, evicted_size))
         self._entries[key] = size
         self._used += size
         self.stats.insertions += 1
+        return victims
 
     def evict(self, key: object) -> bool:
         """Explicitly remove ``key``; returns whether it was present."""

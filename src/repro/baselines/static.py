@@ -23,7 +23,7 @@ from repro.core.placement import CachePlacement, FilePlacement
 from repro.queueing.order_stats import latency_upper_bound
 
 
-def _functional_placement_from_allocation(
+def functional_placement_from_allocation(
     model: StorageSystemModel, allocation: Dict[str, int]
 ) -> CachePlacement:
     """Build a functional-caching placement with uniform scheduling.
@@ -70,7 +70,7 @@ def _functional_placement_from_allocation(
 def no_cache_placement(model: StorageSystemModel) -> CachePlacement:
     """A placement that caches nothing (pure erasure-coded reads)."""
     allocation = {spec.file_id: 0 for spec in model.files}
-    return _functional_placement_from_allocation(model, allocation)
+    return functional_placement_from_allocation(model, allocation)
 
 
 def popularity_whole_file_placement(model: StorageSystemModel) -> CachePlacement:
@@ -83,7 +83,7 @@ def popularity_whole_file_placement(model: StorageSystemModel) -> CachePlacement
             remaining -= spec.k
         if remaining == 0:
             break
-    return _functional_placement_from_allocation(model, allocation)
+    return functional_placement_from_allocation(model, allocation)
 
 
 def proportional_placement(model: StorageSystemModel) -> CachePlacement:
@@ -106,7 +106,7 @@ def proportional_placement(model: StorageSystemModel) -> CachePlacement:
         if allocation[spec.file_id] < spec.k:
             allocation[spec.file_id] += 1
             remaining -= 1
-    return _functional_placement_from_allocation(model, allocation)
+    return functional_placement_from_allocation(model, allocation)
 
 
 def exact_vs_functional_bounds(
@@ -121,7 +121,7 @@ def exact_vs_functional_bounds(
     """
     exact_policy = ExactCachingPolicy(model, allocation)
     exact_bounds = exact_policy.latency_bounds()
-    functional = _functional_placement_from_allocation(model, allocation)
+    functional = functional_placement_from_allocation(model, allocation)
     results: Dict[str, Dict[str, float]] = {}
     for entry in functional.files:
         results[entry.file_id] = {

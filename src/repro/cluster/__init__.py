@@ -22,6 +22,7 @@ from repro.cluster.osd import OSD
 from repro.cluster.pool import ErasureCodedPool, PoolConfig
 from repro.cluster.cachetier import CacheTier
 from repro.cluster.cluster import CephLikeCluster, ClusterConfig, ReadResult
+from repro.cluster.replay import ClusterReplay, ReplayResult, ReplayTrace
 
 __all__ = [
     "HDD_SERVICE_TABLE",
@@ -37,4 +38,7 @@ __all__ = [
     "CephLikeCluster",
     "ClusterConfig",
     "ReadResult",
+    "ClusterReplay",
+    "ReplayResult",
+    "ReplayTrace",
 ]

@@ -57,8 +57,10 @@ class ClusterConfig:
             raise ClusterError(f"invalid code ({self.n}, {self.k})")
         if self.object_size_mb <= 0:
             raise ClusterError("object size must be positive")
-        if self.cache_capacity_mb <= 0:
-            raise ClusterError("cache capacity must be positive")
+        if self.cache_capacity_mb < 0:
+            # Zero is a valid degenerate configuration: an always-missing
+            # cache tier (hit ratio 0.0), not an error mid-benchmark.
+            raise ClusterError("cache capacity must be non-negative")
 
     @property
     def chunk_size_mb(self) -> int:
@@ -204,8 +206,19 @@ class CephLikeCluster:
     # Baseline configuration (LRU cache tier)
     # ------------------------------------------------------------------
 
-    def setup_lru_baseline(self, object_names: List[str]) -> None:
-        """Create the (7,4) pool with an LRU cache tier and write the objects."""
+    def setup_baseline(
+        self,
+        object_names: List[str],
+        policy: str = "lru",
+        policy_params: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Create the (7,4) pool behind a cache tier and write the objects.
+
+        ``policy`` selects the tier's residency policy from the cache-policy
+        registry (Ceph's tiering agent is ``"lru"``, the paper's baseline).
+        """
+        from repro.policies import create_policy
+
         config = self._config
         pool_config = PoolConfig(
             name="ec-base",
@@ -215,15 +228,29 @@ class CephLikeCluster:
         )
         storage_pool = ErasureCodedPool(pool_config, self._osds, crush_seed=config.seed)
         self._cache_tier = CacheTier(
-            storage_pool, capacity_mb=config.cache_capacity_mb, rng=self._rng
+            storage_pool,
+            capacity_mb=config.cache_capacity_mb,
+            rng=self._rng,
+            policy=create_policy(
+                policy, config.cache_capacity_mb, **(dict(policy_params or {}))
+            ),
         )
         for object_name in object_names:
             self._cache_tier.write_object(object_name, config.object_size_mb)
 
+    def setup_lru_baseline(self, object_names: List[str]) -> None:
+        """Create the (7,4) pool with an LRU cache tier and write the objects."""
+        self.setup_baseline(object_names, policy="lru")
+
+    @property
+    def cache_tier(self) -> Optional[CacheTier]:
+        """The baseline cache tier (``None`` before ``setup_baseline``)."""
+        return self._cache_tier
+
     def read_baseline(self, object_name: str, arrival_time: float) -> tuple[float, bool]:
-        """Read an object through the LRU cache tier; returns (completion, hit)."""
+        """Read an object through the cache tier; returns (completion, hit)."""
         if self._cache_tier is None:
-            raise ClusterError("setup_lru_baseline() has not been called")
+            raise ClusterError("setup_baseline() has not been called")
         return self._cache_tier.read_object(object_name, arrival_time)
 
     # ------------------------------------------------------------------
@@ -271,6 +298,40 @@ class CephLikeCluster:
                     result.chunks_from_storage += k
             result.latencies_ms.append(completion_ms - arrival_ms)
         return result
+
+    def run_replay_benchmark(
+        self,
+        arrival_rates: Dict[str, float],
+        duration_s: float,
+        policy: str = "lru",
+        engine: str = "epoch",
+        seed: Optional[int] = None,
+        epoch_length: Optional[int] = None,
+        policy_params: Optional[Dict[str, object]] = None,
+    ):
+        """Run the cache-tier read benchmark through the trace-replay engines.
+
+        The trace-replay path (see :mod:`repro.cluster.replay`) draws the
+        whole request stream at once and replays it against the emulated
+        device model under any registered cache policy -- vectorised with
+        ``engine="epoch"`` (orders of magnitude faster than the per-request
+        :meth:`run_read_benchmark` loop) or with the per-request reference
+        ``engine="request"``.  Returns a
+        :class:`~repro.cluster.replay.ReplayResult`.
+        """
+        from repro.cluster.replay import ClusterReplay, ReplayTrace
+
+        root = seed if seed is not None else self._config.seed + 101
+        trace = ReplayTrace.from_rates(arrival_rates, duration_s, seed=root)
+        replay = ClusterReplay(
+            self._config,
+            list(arrival_rates),
+            policy=policy,
+            policy_params=policy_params,
+        )
+        return replay.run(
+            trace, engine=engine, seed=root + 1, epoch_length=epoch_length
+        )
 
     def reset_queues(self) -> None:
         """Reset OSD queue state between benchmark stages."""

@@ -111,6 +111,23 @@ def nearest_measured_chunk_size(chunk_size_mb: float) -> int:
     return min(HDD_SERVICE_TABLE, key=lambda size: abs(size - chunk_size_mb))
 
 
+def whole_object_ssd_latency(object_size_mb: int, k: int) -> float:
+    """Latency (ms) of streaming a whole object from one SSD cache replica.
+
+    The cache tier stores objects replicated (not erasure coded), so a read
+    streams the full object from one SSD.  The Table-V measurements are per
+    chunk; reading ``k`` chunks' worth of data sequentially costs roughly
+    ``k`` times the per-chunk latency of the corresponding chunk size.
+    Shared by the per-request cache tier and the trace-replay engines so
+    their latency models cannot drift apart.
+    """
+    k = max(k, 1)
+    chunk_size = max(object_size_mb // k, 1)
+    measured = nearest_measured_chunk_size(chunk_size)
+    per_chunk = ssd_service_for_chunk_size(measured).mean
+    return float(per_chunk * k * (chunk_size / measured))
+
+
 def hdd_speed_multipliers(num_osds: int, spread: float = 0.3, seed: int = 7) -> list[float]:
     """Per-OSD speed multipliers modelling device heterogeneity.
 

@@ -1,0 +1,677 @@
+"""Policy-driven trace replay of the cache-tier read benchmark.
+
+This is the shared trace-replay interface behind the cluster emulation's
+read benchmarks: a :class:`ReplayTrace` (seeded Poisson request stream), a
+:class:`~repro.policies.base.ChunkCachingPolicy` deciding residency, and a
+latency model mirroring the emulated devices (CRUSH-placed chunk reads on
+FIFO HDD OSDs, fork-join over the fetched chunks, a small bank of SSD cache
+devices serving hits and landing promotions).  Two engines replay the same
+trace over the *same randomness*:
+
+* ``engine="request"`` -- the reference per-request event loop: one policy
+  ``observe`` per request in arrival order, then a scalar queue update per
+  miss chunk and a scalar two-server SSD pass.
+
+* ``engine="epoch"`` -- the epoch-batched engine.  Cache state is frozen
+  for an epoch of requests, so hit classification is a residency lookup;
+  per-OSD FIFO departures (Lindley scans), the fork-join maxima and the
+  SSD multi-server queue are computed in bulk with the batch-engine
+  primitives; evictions and promotions are applied at epoch boundaries.
+  With the default ``epoch_length=None`` the engine places a boundary at
+  every miss (and at every TTL expiry), which preserves per-request
+  semantics *exactly*: a run of full hits changes recency/frequency state
+  but never residency, so folding the run into the policy at the boundary
+  (:meth:`~repro.policies.base.ChunkCachingPolicy.touch_epoch`) reproduces
+  the per-request state evolution.  Hit/miss/promotion/eviction counters
+  match the request engine exactly and latency statistics agree to within
+  floating-point reassociation (~1e-12 relative; the closed-form Lindley
+  scans regroup the same additions).  A fixed ``epoch_length=E`` freezes
+  state for ``E`` requests at a time instead -- an explicit approximation
+  that trades exactness for fewer boundaries on miss-heavy traces
+  (``E=1`` again degenerates to exact per-request semantics).
+
+Randomness is decomposed so the two engines consume identical draws: the
+classification pass touches no generator at all, and the storage-node
+choices and chunk service times are then drawn *per miss* from two
+dedicated streams of one root ``SeedSequence`` -- engines that agree on
+the miss set (exact modes always do) see identical draws.  Node selection
+is uniform over the object's CRUSH placement (state-free, unlike the
+queue-dependent least-backlog rule of the per-request
+:class:`~repro.cluster.cachetier.CacheTier` path, which cannot be
+replayed out of order).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.cluster.crush import CrushMap, placement_group_count
+from repro.cluster.devices import (
+    hdd_service_for_chunk_size,
+    hdd_speed_multipliers,
+    whole_object_ssd_latency,
+)
+from repro.exceptions import ClusterError
+from repro.policies import ChunkCachingPolicy, create_policy
+from repro.simulation.arrivals import generate_request_arrays
+from repro.simulation.replay import (
+    fifo_departures_grouped,
+    last_access_fold,
+    multi_server_departures,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.cluster.cluster import ClusterConfig
+
+
+@dataclass(frozen=True)
+class ReplayTrace:
+    """A request trace: sorted arrival times plus object indices."""
+
+    times_ms: np.ndarray
+    object_positions: np.ndarray
+    object_ids: List[str]
+
+    @property
+    def num_requests(self) -> int:
+        """Number of requests in the trace."""
+        return int(self.times_ms.size)
+
+    @classmethod
+    def from_rates(
+        cls,
+        arrival_rates: Dict[str, float],
+        duration_s: float,
+        seed: Optional[int] = None,
+    ) -> "ReplayTrace":
+        """Draw a seeded Poisson trace (times in milliseconds)."""
+        rng = np.random.default_rng(seed)
+        times_s, positions, object_ids = generate_request_arrays(
+            arrival_rates, duration_s, rng
+        )
+        return cls(
+            times_ms=times_s * 1000.0,
+            object_positions=positions,
+            object_ids=object_ids,
+        )
+
+
+@dataclass
+class ReplayResult:
+    """Statistics of one trace replay."""
+
+    engine: str
+    policy: str
+    reads: int
+    hits: int
+    promotions: int
+    evictions_mb: float
+    chunks_from_cache: int
+    chunks_from_storage: int
+    latencies_ms: np.ndarray
+    hit_mask: np.ndarray
+
+    @property
+    def misses(self) -> int:
+        """Number of reads not served entirely from the cache tier."""
+        return self.reads - self.hits
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of reads that fully hit the cache (0.0 if no reads)."""
+        if self.reads == 0:
+            return 0.0
+        return self.hits / self.reads
+
+    def mean_latency_ms(self) -> float:
+        """Mean access latency in milliseconds."""
+        if self.latencies_ms.size == 0:
+            raise ClusterError("no reads recorded")
+        return float(self.latencies_ms.mean())
+
+    def percentile_ms(self, q: float) -> float:
+        """Latency percentile in milliseconds."""
+        if self.latencies_ms.size == 0:
+            raise ClusterError("no reads recorded")
+        return float(np.percentile(self.latencies_ms, q))
+
+
+#: How a policy may be supplied: a registered name or a factory
+#: ``(capacity_chunks, chunks_per_file, **params) -> ChunkCachingPolicy``.
+PolicyLike = Union[str, Callable[..., ChunkCachingPolicy]]
+
+#: Hit-run length at which the exact engine switches from the Python scan
+#: to vectorised block classification, and the initial vector block size.
+_VECTOR_THRESHOLD = 96
+_VECTOR_BLOCK = 512
+_VECTOR_BLOCK_MAX = 65536
+
+
+class ClusterReplay:
+    """Replays read traces against the emulated cluster's latency model.
+
+    Parameters
+    ----------
+    config:
+        The :class:`~repro.cluster.cluster.ClusterConfig` describing the
+        cluster (code, object size, cache capacity, seeds).
+    object_ids:
+        The objects of the workload; each occupies one CRUSH placement of
+        ``n`` OSDs and ``k`` chunks of the configured chunk size.
+    policy:
+        Registered cache-policy name (``"lru"``, ``"lfu"``, ...) or a
+        factory ``(capacity_chunks, chunks_per_file, **params)``.  A fresh
+        policy is built per :meth:`run`, so one replay instance can run
+        both engines from identical initial state.
+    policy_params:
+        Extra keyword arguments for the policy factory.
+    warm:
+        Whether to pre-populate the cache by touching every object once in
+        order (mirrors writing the objects through the cache tier).
+    """
+
+    def __init__(
+        self,
+        config: "ClusterConfig",
+        object_ids: List[str],
+        policy: PolicyLike = "lru",
+        policy_params: Optional[Dict[str, object]] = None,
+        warm: bool = True,
+    ):
+        self._config = config
+        self._object_ids = [str(object_id) for object_id in object_ids]
+        self._object_index = {
+            object_id: position for position, object_id in enumerate(self._object_ids)
+        }
+        if len(self._object_index) != len(self._object_ids):
+            raise ClusterError("object_ids contains duplicates")
+        self._policy = policy
+        self._policy_params = dict(policy_params or {})
+        self._warm = bool(warm)
+
+        n, k = config.n, config.k
+        self._k = k
+        self._num_osds = config.num_osds
+        parity = n - k if k > 0 else n
+        crush = CrushMap(
+            sorted(range(config.num_osds)),
+            num_placement_groups=placement_group_count(config.num_osds, parity),
+            width=n,
+            seed=config.seed,
+        )
+        self._placement = np.asarray(
+            [crush.osds_for_object(object_id) for object_id in self._object_ids],
+            dtype=np.int64,
+        ).reshape(len(self._object_ids), n)
+        multipliers = hdd_speed_multipliers(
+            config.num_osds, spread=config.osd_speed_spread, seed=config.seed + 13
+        )
+        self._multipliers = np.asarray(multipliers) * config.service_time_inflation
+        self._service = hdd_service_for_chunk_size(config.chunk_size_mb)
+        self._ssd_devices = 2
+        # Shared with CacheTier._ssd_read_latency, so the replay's latency
+        # model cannot drift from the per-request emulation's.
+        self._ssd_latency_ms = whole_object_ssd_latency(config.object_size_mb, config.k)
+
+    # ------------------------------------------------------------------
+    # Model pieces
+    # ------------------------------------------------------------------
+
+    def _build_policy(self) -> ChunkCachingPolicy:
+        chunks_per_file = {object_id: self._k for object_id in self._object_ids}
+        capacity = self._config.cache_capacity_chunks
+        if isinstance(self._policy, str):
+            policy = create_policy(
+                self._policy, capacity, chunks_per_file, **self._policy_params
+            )
+        else:
+            policy = self._policy(capacity, chunks_per_file, **self._policy_params)
+        if self._warm:
+            policy.warm(self._object_ids)
+        return policy
+
+    @property
+    def policy_name(self) -> str:
+        """Name (or repr) of the configured policy."""
+        return self._policy if isinstance(self._policy, str) else repr(self._policy)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        trace: ReplayTrace,
+        engine: str = "epoch",
+        seed: Optional[int] = None,
+        epoch_length: Optional[int] = None,
+    ) -> ReplayResult:
+        """Replay ``trace`` and return the collected statistics.
+
+        Parameters
+        ----------
+        trace:
+            The request trace (its object ids must be registered).
+        engine:
+            ``"epoch"`` (vectorised) or ``"request"`` (reference loop).
+        seed:
+            Root seed of the per-miss scheduling/service randomness; with
+            the same seed, engines that classify identically (the exact
+            modes always do) consume identical draws.
+        epoch_length:
+            ``None`` (default) places epoch boundaries at every miss and
+            expiry, which preserves per-request semantics exactly; a
+            positive integer freezes cache state for that many requests at
+            a time (documented approximation; ignored by ``"request"``).
+        """
+        if engine not in ("epoch", "request"):
+            raise ClusterError(f"unknown replay engine {engine!r}")
+        if epoch_length is not None and epoch_length < 1:
+            raise ClusterError("epoch_length must be positive")
+        for object_id in trace.object_ids:
+            if object_id not in self._object_index:
+                raise ClusterError(f"object {object_id!r} was never placed")
+        # Map the trace's object positions onto this replay's object table.
+        remap = np.asarray(
+            [self._object_index[object_id] for object_id in trace.object_ids],
+            dtype=np.int64,
+        )
+        positions = (
+            remap[trace.object_positions]
+            if trace.num_requests
+            else np.empty(0, np.int64)
+        )
+        times = np.asarray(trace.times_ms, dtype=float)
+        num_requests = trace.num_requests
+        k = self._k
+
+        # Phase 1 (engine-specific): hit/miss classification and policy
+        # state evolution.  Touches no random stream.
+        if engine == "request":
+            classified = self._classify_requests(positions, times)
+        else:
+            classified = self._classify_epochs(positions, times, epoch_length)
+        hit_mask, cached_chunks, promotions, evicted_chunks = classified
+
+        # Phase 2 (shared): per-miss randomness, drawn identically for both
+        # engines from one root seed.
+        miss_requests = np.flatnonzero(~hit_mask)
+        streams = np.random.SeedSequence(seed).spawn(2)
+        schedule_rng = np.random.default_rng(streams[0])
+        service_rng = np.random.default_rng(streams[1])
+        num_misses = int(miss_requests.size)
+        selection = np.argsort(
+            schedule_rng.random((num_misses, self._config.n)), axis=1
+        )
+        base_draws = np.asarray(
+            self._service.sample(service_rng, size=(num_misses, k)), dtype=float
+        ).reshape(num_misses, k)
+
+        # Phase 3: latency assembly -- scalar in the reference engine,
+        # closed-form vectorised in the epoch engine.
+        if engine == "request":
+            completion = self._assemble_scalar(
+                positions, times, miss_requests, cached_chunks, selection, base_draws
+            )
+        else:
+            completion = self._assemble_vectorised(
+                positions, times, miss_requests, cached_chunks, selection, base_draws
+            )
+
+        latencies = completion - times
+        hits = int(np.count_nonzero(hit_mask))
+        chunks_from_cache = int(cached_chunks.sum())
+        chunks_from_storage = int(
+            (num_requests - hits) * k - cached_chunks[~hit_mask].sum()
+        )
+        return ReplayResult(
+            engine=engine,
+            policy=self.policy_name,
+            reads=num_requests,
+            hits=hits,
+            promotions=promotions,
+            evictions_mb=float(evicted_chunks * self._config.chunk_size_mb),
+            chunks_from_cache=chunks_from_cache,
+            chunks_from_storage=chunks_from_storage,
+            latencies_ms=latencies,
+            hit_mask=hit_mask,
+        )
+
+    # ------------------------------------------------------------------
+    # Classification, reference engine: one observe per request
+    # ------------------------------------------------------------------
+
+    def _classify_requests(self, positions, times):
+        policy = self._build_policy()
+        num_requests = times.size
+        k = self._k
+        ids = self._object_ids
+        hit_mask = np.zeros(num_requests, dtype=bool)
+        cached_chunks = np.zeros(num_requests, dtype=np.int64)
+        promotions = 0
+        evicted_chunks = 0
+        observe = policy.observe
+        times_list = times.tolist()
+        positions_list = positions.tolist()
+        for request in range(num_requests):
+            outcome = observe(ids[positions_list[request]], now=times_list[request])
+            if outcome.promoted:
+                promotions += 1
+            for _, chunks in outcome.evicted:
+                evicted_chunks += chunks
+            if outcome.hit:
+                hit_mask[request] = True
+                cached_chunks[request] = k
+            else:
+                cached_chunks[request] = outcome.cached_chunks
+        return hit_mask, cached_chunks, promotions, evicted_chunks
+
+    # ------------------------------------------------------------------
+    # Classification, epoch engine
+    # ------------------------------------------------------------------
+
+    def _classify_epochs(self, positions, times, epoch_length=None):
+        if epoch_length is None:
+            return self._classify_miss_bounded(positions, times)
+        return self._classify_fixed_epochs(positions, times, int(epoch_length))
+
+    def _classify_miss_bounded(self, positions, times):
+        """Exact mode: one epoch per run of hits, boundary at every miss.
+
+        A run of full hits never changes residency, so classifying against
+        the residency snapshot is exact; the run is folded into the policy
+        (unique files in last-access order) before the boundary miss is
+        observed.  TTL-style policies additionally bound runs at their next
+        expiry instant.  Short runs are scanned in plain Python (per-epoch
+        numpy calls on tiny slices cost more than they vectorise); once a
+        run exceeds :data:`_VECTOR_THRESHOLD` the scan switches to doubling
+        vectorised blocks, so high-hit-ratio traces classify at array
+        speed.
+        """
+        policy = self._build_policy()
+        num_requests = times.size
+        k = self._k
+        ids = self._object_ids
+        index = self._object_index
+        lookup = policy.lookup
+        touch_epoch = policy.touch_epoch
+        time_driven = not policy.epoch_invariant
+        wants_counts = policy.counts_in_touch
+
+        resident = [False] * len(ids)
+        for object_id, chunks in policy.occupancy().items():
+            resident[index[object_id]] = chunks >= k
+        resident_array = np.asarray(resident, dtype=bool)
+
+        hit_mask = np.zeros(num_requests, dtype=bool)
+        cached_chunks = np.zeros(num_requests, dtype=np.int64)
+        promotions = 0
+        evicted_chunks = 0
+        positions_list = positions.tolist()
+        times_list = times.tolist()
+
+        def handle_miss(request: int) -> None:
+            nonlocal promotions, evicted_chunks
+            at = positions_list[request]
+            outcome = policy.observe(ids[at], now=times_list[request])
+            if outcome.promoted:
+                promotions += 1
+            for object_id, chunks in outcome.evicted:
+                evicted_chunks += chunks
+                victim = index[object_id]
+                full = lookup(object_id) >= k
+                resident[victim] = full
+                resident_array[victim] = full
+            full = lookup(ids[at]) >= k
+            resident[at] = full
+            resident_array[at] = full
+            cached_chunks[request] = outcome.cached_chunks
+
+        def fold_array(block: np.ndarray, start: int) -> None:
+            unique_positions, counts, last_offsets = last_access_fold(block)
+            touch_epoch(
+                [ids[at] for at in unique_positions.tolist()],
+                counts=counts.tolist() if wants_counts else None,
+                times=times[start + last_offsets].tolist() if time_driven else None,
+                total=int(block.size),
+            )
+            hit_mask[start : start + block.size] = True
+            cached_chunks[start : start + block.size] = k
+
+        cursor = 0
+        vector_block = 0
+        while cursor < num_requests:
+            limit = num_requests
+            if time_driven:
+                next_event = policy.next_event_time()
+                if next_event < math.inf:
+                    limit = bisect.bisect_left(times_list, next_event)
+                    if limit <= cursor:
+                        for object_id, chunks in policy.advance(next_event):
+                            evicted_chunks += chunks
+                            victim = index[object_id]
+                            full = lookup(object_id) >= k
+                            resident[victim] = full
+                            resident_array[victim] = full
+                        continue
+            if vector_block:
+                end = min(cursor + vector_block, limit)
+                block = positions[cursor:end]
+                mask = resident_array[block]
+                if mask.all():
+                    fold_array(block, cursor)
+                    cursor = end
+                    if end < limit:
+                        vector_block = min(vector_block * 2, _VECTOR_BLOCK_MAX)
+                    continue
+                first_miss = int(np.argmin(mask))
+                if first_miss:
+                    fold_array(block[:first_miss], cursor)
+                handle_miss(cursor + first_miss)
+                cursor += first_miss + 1
+                vector_block = 0
+                continue
+            # Python scan for short runs.
+            run_last: Dict[int, int] = {}
+            run_counts: Optional[Dict[int, int]] = {} if wants_counts else None
+            scan = cursor
+            streak_cap = cursor + _VECTOR_THRESHOLD
+            while scan < limit:
+                at = positions_list[scan]
+                if not resident[at]:
+                    break
+                run_last[at] = scan
+                if run_counts is not None:
+                    run_counts[at] = run_counts.get(at, 0) + 1
+                scan += 1
+                if scan >= streak_cap:
+                    vector_block = _VECTOR_BLOCK
+                    break
+            if scan > cursor:
+                order = sorted(run_last, key=run_last.__getitem__)
+                touch_epoch(
+                    [ids[at] for at in order],
+                    counts=[run_counts[at] for at in order]
+                    if run_counts is not None
+                    else None,
+                    times=[times_list[run_last[at]] for at in order]
+                    if time_driven
+                    else None,
+                    total=scan - cursor,
+                )
+                hit_mask[cursor:scan] = True
+                cached_chunks[cursor:scan] = k
+            if scan < limit and not vector_block:
+                handle_miss(scan)
+                scan += 1
+            cursor = scan
+        return hit_mask, cached_chunks, promotions, evicted_chunks
+
+    def _classify_fixed_epochs(self, positions, times, epoch_length):
+        """Approximate mode: residency frozen for ``epoch_length`` requests.
+
+        The whole epoch is classified against the snapshot taken at its
+        start; the accesses are then folded back into the policy in order
+        (hit runs via ``touch_epoch``, frozen misses via ``observe``) and
+        the snapshot is refreshed.  ``epoch_length=1`` degenerates to the
+        exact per-request semantics.
+        """
+        policy = self._build_policy()
+        num_requests = times.size
+        num_objects = len(self._object_ids)
+        k = self._k
+        ids = self._object_ids
+        index = self._object_index
+
+        occupancy = np.zeros(num_objects, dtype=np.int64)
+        for object_id, chunks in policy.occupancy().items():
+            occupancy[index[object_id]] = chunks
+        resident_full = occupancy >= k
+
+        hit_mask = np.zeros(num_requests, dtype=bool)
+        cached_chunks = np.zeros(num_requests, dtype=np.int64)
+        promotions = 0
+        evicted_chunks = 0
+
+        def apply_evictions(evictions) -> int:
+            removed = 0
+            for object_id, chunks in evictions:
+                removed += chunks
+                at = index[object_id]
+                occupancy[at] = max(occupancy[at] - chunks, 0)
+                resident_full[at] = occupancy[at] >= k
+            return removed
+
+        cursor = 0
+        while cursor < num_requests:
+            # Time-driven residency changes (TTL expiry) bound every epoch.
+            next_event = policy.next_event_time()
+            end = min(num_requests, cursor + epoch_length)
+            if next_event < math.inf:
+                cap = int(np.searchsorted(times, next_event, side="left"))
+                if cap <= cursor:
+                    evicted_chunks += apply_evictions(policy.advance(next_event))
+                    continue
+                end = min(end, cap)
+            block = positions[cursor:end]
+            mask = resident_full[block]
+            hit_mask[cursor:end] = mask
+            cached_chunks[cursor:end] = np.where(mask, k, occupancy[block])
+            run_start = 0
+            for offset in np.flatnonzero(~mask):
+                offset = int(offset)
+                if offset > run_start:
+                    self._fold_frozen_hits(
+                        policy, ids, block[run_start:offset], times, cursor + run_start
+                    )
+                outcome = policy.observe(
+                    ids[block[offset]], now=times[cursor + offset]
+                )
+                if outcome.promoted:
+                    promotions += 1
+                evicted_chunks += apply_evictions(outcome.evicted)
+                run_start = offset + 1
+            if run_start < block.size:
+                self._fold_frozen_hits(
+                    policy, ids, block[run_start:], times, cursor + run_start
+                )
+            for at in np.unique(block):
+                occupancy[at] = policy.lookup(ids[at])
+                resident_full[at] = occupancy[at] >= k
+            cursor = end
+        return hit_mask, cached_chunks, promotions, evicted_chunks
+
+    @staticmethod
+    def _fold_frozen_hits(policy, ids, run, times, start):
+        if run.size == 0:
+            return
+        unique_positions, counts, last_offsets = last_access_fold(run)
+        policy.touch_epoch(
+            [ids[at] for at in unique_positions.tolist()],
+            counts=counts.tolist(),
+            times=times[start + last_offsets].tolist(),
+            total=int(run.size),
+        )
+
+    # ------------------------------------------------------------------
+    # Latency assembly
+    # ------------------------------------------------------------------
+
+    def _assemble_scalar(
+        self, positions, times, miss_requests, cached_chunks, selection, base_draws
+    ):
+        """Reference assembly: scalar FIFO updates in request order."""
+        k = self._k
+        busy = [0.0] * self._num_osds
+        multipliers = self._multipliers.tolist()
+        placement = self._placement
+        ssd_entry = times.copy()
+        times_list = times.tolist()
+        for rank, request in enumerate(miss_requests.tolist()):
+            arrival = times_list[request]
+            storage_chunks = k - int(cached_chunks[request])
+            if storage_chunks <= 0:
+                continue
+            at = positions[request]
+            storage_completion = arrival
+            for column in range(storage_chunks):
+                osd = int(placement[at, selection[rank, column]])
+                service = float(base_draws[rank, column]) * multipliers[osd]
+                start = arrival if busy[osd] < arrival else busy[osd]
+                departure = start + service
+                busy[osd] = departure
+                if departure > storage_completion:
+                    storage_completion = departure
+            ssd_entry[request] = storage_completion
+        # SSD pass: the cache devices serve IOs in arrival order.
+        order = np.argsort(ssd_entry, kind="stable")
+        entries = ssd_entry[order].tolist()
+        ssd_busy = [0.0] * self._ssd_devices
+        service = self._ssd_latency_ms
+        departures = np.empty(times.size, dtype=float)
+        for rank, arrival in enumerate(entries):
+            earliest = min(ssd_busy)
+            start = arrival if earliest < arrival else earliest
+            departure = start + service
+            ssd_busy[ssd_busy.index(earliest)] = departure
+            departures[rank] = departure
+        completion = np.empty(times.size, dtype=float)
+        completion[order] = departures
+        return completion
+
+    def _assemble_vectorised(
+        self, positions, times, miss_requests, cached_chunks, selection, base_draws
+    ):
+        """Epoch assembly: Lindley scans per OSD, segmented fork-join, SSD lanes."""
+        k = self._k
+        ssd_entry = times.copy()
+        storage_counts = k - cached_chunks[miss_requests]
+        active = storage_counts > 0
+        storage_requests = miss_requests[active]
+        counts = storage_counts[active]
+        total_chunks = int(counts.sum())
+        if total_chunks:
+            ranks = np.flatnonzero(active)
+            rows = np.repeat(ranks, counts)
+            requests = np.repeat(storage_requests, counts)
+            starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            columns = np.arange(total_chunks) - np.repeat(starts, counts)
+            chosen = selection[rows, columns]
+            osds = self._placement[positions[requests], chosen]
+            services = base_draws[rows, columns] * self._multipliers[osds]
+            departures = fifo_departures_grouped(
+                osds, times[requests], services, self._num_osds
+            )
+            ssd_entry[storage_requests] = np.maximum.reduceat(departures, starts)
+        order = np.argsort(ssd_entry, kind="stable")
+        departures = multi_server_departures(
+            ssd_entry[order], self._ssd_latency_ms, self._ssd_devices
+        )
+        completion = np.empty(times.size, dtype=float)
+        completion[order] = departures
+        return completion

@@ -79,6 +79,7 @@ def run_for_rate(
     rate_divisor: float = 1.0,
     simulate: bool = False,
     engine: str = "batch",
+    baseline_policy: str = "lru",
 ) -> ArrivalRateComparison:
     """Run the Fig. 11 comparison for one aggregate arrival rate.
 
@@ -117,7 +118,7 @@ def run_for_rate(
     )
 
     cluster_baseline = CephLikeCluster(config)
-    cluster_baseline.setup_lru_baseline(sorted(arrival_rates))
+    cluster_baseline.setup_baseline(sorted(arrival_rates), policy=baseline_policy)
     baseline_result = cluster_baseline.run_read_benchmark(
         arrival_rates, duration_s, mode="baseline", seed=seed
     )
@@ -146,6 +147,7 @@ def run_for_rate(
 @register_experiment(
     "fig11",
     title="Latency vs workload intensity, optimal vs LRU (Fig. 11)",
+    description="emulated-cluster latency across the aggregate rate sweep, both tiers",
     scales={
         "fast": {
             "aggregate_rates": (0.5, 1.0, 2.0),
@@ -164,6 +166,7 @@ def run(
     rate_divisor: float = 1.0,
     simulate: bool = False,
     engine: str = "batch",
+    baseline_policy: str = "lru",
 ) -> Fig11Result:
     """Run the full Fig. 11 workload-intensity sweep."""
     result = Fig11Result(
@@ -183,6 +186,7 @@ def run(
                 rate_divisor=rate_divisor,
                 simulate=simulate,
                 engine=engine,
+                baseline_policy=baseline_policy,
             )
         )
     return result

@@ -52,6 +52,7 @@ class Fig3Result:
 @register_experiment(
     "fig3",
     title="Convergence of Algorithm 1 (Fig. 3)",
+    description="objective trace of the alternating minimization per cache size",
     scales={"fast": {"cache_sizes": (20, 40, 60, 80, 100), "num_files": 100}},
 )
 def run(

@@ -49,6 +49,7 @@ class Fig4Result:
 @register_experiment(
     "fig4",
     title="Latency vs cache size (Fig. 4)",
+    description="converged latency bound as the cache grows from 0 to full",
     scales={"fast": {"num_files": 100}},
 )
 def run(

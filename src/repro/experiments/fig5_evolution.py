@@ -40,6 +40,7 @@ class Fig5Result:
 @register_experiment(
     "fig5",
     title="Cache content evolution over time bins (Fig. 5 / Table I)",
+    description="per-bin optimal cache content under the Table-I rate shifts",
 )
 def run(
     cache_capacity: int = 10,

@@ -76,6 +76,7 @@ def _arrival_rates(rate_first_two: float) -> List[float]:
 @register_experiment(
     "fig6",
     title="Placement and arrival-rate impact (Fig. 6)",
+    description="cache allocation shift as two files heat up on the 10-file model",
 )
 def run(
     sweep_rates: Sequence[float] = tuple(PAPER_SWEEP_RATES),

@@ -85,6 +85,7 @@ def _build_model(
 @register_experiment(
     "fig7",
     title="Cache vs storage chunk scheduling (Fig. 7)",
+    description="simulated per-slot chunk counts served from cache vs storage",
     scales={"fast": {"num_objects": 200, "cache_capacity_chunks": 250}},
 )
 def run(

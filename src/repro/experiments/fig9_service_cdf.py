@@ -109,6 +109,7 @@ def _simulated_service_samples(
 @register_experiment(
     "fig9",
     title="Chunk service-time CDF (Fig. 9 / Table IV)",
+    description="emulated HDD service-time distributions against the measured moments",
     scales={"fast": {"samples_per_size": 5000}, "paper": {"samples_per_size": 20000}},
 )
 def run(

@@ -28,6 +28,7 @@ from repro.api.registry import (
     BASELINES,
     ENGINES,
     EXPERIMENTS as EXPERIMENT_REGISTRY,
+    POLICIES,
     SOLVERS,
     WORKLOADS,
 )
@@ -71,24 +72,52 @@ def run_experiment(
     return f"{header}\n{spec.format(result)}\n"
 
 
+def _section_lines(entries) -> list:
+    """Sorted, de-duplicated ``name  description`` lines for one section."""
+    unique = {}
+    for name, description in entries:
+        unique.setdefault(name, description)
+    if not unique:
+        return ["  <none>"]
+    width = max(len(name) for name in unique)
+    return [
+        f"  {name:<{width}}  {unique[name]}".rstrip()
+        for name in sorted(unique)
+    ]
+
+
 def format_listing() -> str:
-    """Render every registered component as the ``--list`` report."""
+    """Render every registered component as the ``--list`` report.
+
+    Each section is sorted and de-duplicated by name; experiments show
+    their one-line description from the :class:`ExperimentSpec` next to
+    the title.
+    """
     lines = ["Registered experiments:"]
-    width = max(len(name) for name in EXPERIMENT_REGISTRY.names())
-    for name, spec in EXPERIMENT_REGISTRY.items():
-        lines.append(f"  {name:<{width}}  {spec.title}")
+    lines.extend(
+        _section_lines(
+            (
+                name,
+                f"{spec.title} -- {spec.description}" if spec.description else spec.title,
+            )
+            for name, spec in EXPERIMENT_REGISTRY.items()
+        )
+    )
     sections = (
         ("solvers", SOLVERS),
         ("engines", ENGINES),
         ("baselines", BASELINES),
+        ("cache policies", POLICIES),
         ("workloads", WORKLOADS),
     )
     for label, registry in sections:
         lines.append("")
         lines.append(f"Registered {label}:")
-        width = max(len(name) for name in registry.names())
-        for name, spec in registry.items():
-            lines.append(f"  {name:<{width}}  {spec.description}")
+        lines.extend(
+            _section_lines(
+                (name, spec.description) for name, spec in registry.items()
+            )
+        )
     return "\n".join(lines)
 
 

@@ -56,6 +56,7 @@ class TablesResult:
 @register_experiment(
     "tables",
     title="Tables I, III, IV, V",
+    description="workload and device measurement tables regenerated from the emulation",
     scales={"fast": {"samples": 5000}, "paper": {"samples": 20000}},
 )
 def run(samples: int = 20000, seed: int = 2016) -> TablesResult:

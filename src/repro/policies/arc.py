@@ -1,0 +1,135 @@
+"""ARC-style adaptive caching (recency/frequency balance with ghost lists)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.policies.base import ChunkCachingPolicy, Eviction
+
+
+class ARCPolicy(ChunkCachingPolicy):
+    """Adaptive Replacement Cache over whole objects, adapted to sized entries.
+
+    The classic ARC structure: two resident lists ``T1`` (seen once
+    recently) and ``T2`` (seen at least twice), two ghost lists ``B1``/``B2``
+    remembering recently evicted keys, and an adaptation target ``p`` (in
+    chunk units here) that grows when ghosts of ``B1`` are re-referenced
+    (favour recency) and shrinks on ``B2`` ghosts (favour frequency).
+    Entry sizes are respected everywhere: eviction loops free chunks until
+    the newcomer fits, ``p`` moves by the re-referenced object's size, and
+    the ghost lists are trimmed to keep the directory within ``2c`` chunks.
+    Objects larger than the whole cache take the clean miss path.
+    """
+
+    def __init__(
+        self,
+        capacity_chunks: int,
+        chunks_per_file: Optional[Mapping[str, int]] = None,
+    ):
+        super().__init__(capacity_chunks, chunks_per_file)
+        self._t1: "OrderedDict[str, int]" = OrderedDict()  # LRU -> MRU
+        self._t2: "OrderedDict[str, int]" = OrderedDict()
+        self._b1: "OrderedDict[str, int]" = OrderedDict()
+        self._b2: "OrderedDict[str, int]" = OrderedDict()
+        self._p = 0.0
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+
+    def lookup(self, file_id: str) -> int:
+        if file_id in self._t1:
+            return self._t1[file_id]
+        if file_id in self._t2:
+            return self._t2[file_id]
+        return 0
+
+    def evict(self, file_id: str) -> bool:
+        for resident in (self._t1, self._t2):
+            if file_id in resident:
+                del resident[file_id]
+                return True
+        return False
+
+    def occupancy(self) -> Dict[str, int]:
+        snapshot = dict(self._t1)
+        snapshot.update(self._t2)
+        return snapshot
+
+    @property
+    def used_chunks(self) -> int:
+        return sum(self._t1.values()) + sum(self._t2.values())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _chunks(entries: "OrderedDict[str, int]") -> int:
+        return sum(entries.values())
+
+    def _replace(self, prefer_t2: bool, evicted: List[Eviction]) -> bool:
+        """Evict one LRU entry from T1 or T2 per the adaptation target."""
+        t1_chunks = self._chunks(self._t1)
+        if self._t1 and (t1_chunks > self._p or (prefer_t2 is False and not self._t2)):
+            victim, chunks = self._t1.popitem(last=False)
+            self._b1[victim] = chunks
+        elif self._t2:
+            victim, chunks = self._t2.popitem(last=False)
+            self._b2[victim] = chunks
+        elif self._t1:
+            victim, chunks = self._t1.popitem(last=False)
+            self._b1[victim] = chunks
+        else:
+            return False
+        evicted.append((victim, chunks))
+        return True
+
+    def _trim_ghosts(self) -> None:
+        # Directory invariant: |T1|+|B1| <= c and the whole directory <= 2c.
+        while self._b1 and self._chunks(self._t1) + self._chunks(self._b1) > self._capacity:
+            self._b1.popitem(last=False)
+        total = (
+            self._chunks(self._t1)
+            + self._chunks(self._t2)
+            + self._chunks(self._b1)
+            + self._chunks(self._b2)
+        )
+        while self._b2 and total > 2 * self._capacity:
+            _, chunks = self._b2.popitem(last=False)
+            total -= chunks
+
+    def _on_hit(self, file_id: str, now: float) -> None:
+        if file_id in self._t1:
+            chunks = self._t1.pop(file_id)
+            self._t2[file_id] = chunks
+        elif file_id in self._t2:
+            self._t2.move_to_end(file_id)
+
+    def _on_miss(self, file_id: str, now: float) -> Tuple[bool, List[Eviction]]:
+        size = self.footprint(file_id)
+        if size > self._capacity:
+            return False, []
+        evicted: List[Eviction] = []
+        if file_id in self._b1:
+            ghost = self._b1.pop(file_id)
+            b1 = max(self._chunks(self._b1), 1)
+            b2 = self._chunks(self._b2)
+            self._p = min(float(self._capacity), self._p + max(b2 / b1, 1.0) * ghost)
+            target = self._t2
+        elif file_id in self._b2:
+            ghost = self._b2.pop(file_id)
+            b2 = max(self._chunks(self._b2), 1)
+            b1 = self._chunks(self._b1)
+            self._p = max(0.0, self._p - max(b1 / b2, 1.0) * ghost)
+            target = self._t2
+        else:
+            target = self._t1
+        prefer_t2 = target is self._t2
+        while self.used_chunks + size > self._capacity:
+            if not self._replace(prefer_t2, evicted):
+                return False, evicted
+        target[file_id] = size
+        self._trim_ghosts()
+        return True, evicted

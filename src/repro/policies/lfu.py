@@ -1,0 +1,139 @@
+"""Least-frequently-used whole-object caching."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.policies.base import ChunkCachingPolicy, Eviction
+
+
+class LFUPolicy(ChunkCachingPolicy):
+    """Whole-object LFU with LRU tie-breaking.
+
+    ``counts_in_touch`` is set: the epoch fold needs per-file access
+    multiplicities to keep exact frequency counts.
+
+    Every access increments the file's frequency count; on a miss the
+    resident file with the smallest ``(count, last access)`` pair is evicted
+    until the new object fits.  Counts persist across evictions (perfect
+    frequency history), so a once-hot file re-enters the cache ahead of
+    cold newcomers.  Victim selection uses a lazy min-heap: stale heap
+    entries (superseded count/recency, or evicted files) are dropped when
+    they surface, keeping every access O(log n).
+    """
+
+    counts_in_touch = True
+
+    def __init__(
+        self,
+        capacity_chunks: int,
+        chunks_per_file: Optional[Mapping[str, int]] = None,
+    ):
+        super().__init__(capacity_chunks, chunks_per_file)
+        self._resident: Dict[str, int] = {}  # file_id -> cached chunks
+        self._counts: Dict[str, int] = {}
+        self._last_access: Dict[str, int] = {}
+        self._used = 0
+        self._clock = itertools.count()
+        self._heap: List[Tuple[int, int, str]] = []  # (count, last_access, file)
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+
+    def lookup(self, file_id: str) -> int:
+        return self._resident.get(file_id, 0)
+
+    def evict(self, file_id: str) -> bool:
+        chunks = self._resident.pop(file_id, None)
+        if chunks is None:
+            return False
+        self._used -= chunks
+        return True
+
+    def occupancy(self) -> Dict[str, int]:
+        return dict(self._resident)
+
+    @property
+    def used_chunks(self) -> int:
+        return self._used
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _record_access(self, file_id: str) -> None:
+        count = self._counts.get(file_id, 0) + 1
+        self._counts[file_id] = count
+        tick = next(self._clock)
+        self._last_access[file_id] = tick
+        if file_id in self._resident:
+            heapq.heappush(self._heap, (count, tick, file_id))
+
+    def _pop_victim(self) -> Optional[str]:
+        while self._heap:
+            count, tick, file_id = heapq.heappop(self._heap)
+            if (
+                file_id in self._resident
+                and self._counts.get(file_id) == count
+                and self._last_access.get(file_id) == tick
+            ):
+                return file_id
+        return None
+
+    def _on_hit(self, file_id: str, now: float) -> None:
+        self._record_access(file_id)
+
+    def _on_miss(self, file_id: str, now: float) -> Tuple[bool, List[Eviction]]:
+        self._record_access(file_id)
+        size = self.footprint(file_id)
+        if size > self._capacity:
+            return False, []
+        evicted: List[Eviction] = []
+        while self._used + size > self._capacity:
+            victim = self._pop_victim()
+            if victim is None:
+                break
+            chunks = self._resident.pop(victim)
+            self._used -= chunks
+            evicted.append((victim, chunks))
+        if self._used + size > self._capacity:
+            # Cannot make room (capacity 0 with nothing resident).
+            return False, evicted
+        self._resident[file_id] = size
+        self._used += size
+        heapq.heappush(
+            self._heap,
+            (self._counts[file_id], self._last_access[file_id], file_id),
+        )
+        return True, evicted
+
+    # ------------------------------------------------------------------
+    # Epoch fast path: frequency needs the per-file multiplicities.
+    # ------------------------------------------------------------------
+
+    def touch_epoch(
+        self,
+        file_ids: Sequence[str],
+        counts: Optional[Sequence[int]] = None,
+        now: float = 0.0,
+        times: Optional[Sequence[float]] = None,
+        total: Optional[int] = None,
+    ) -> None:
+        if counts is None:
+            counts = [1] * len(file_ids)
+        folded = 0
+        for file_id, multiplicity in zip(file_ids, counts):
+            multiplicity = int(multiplicity)
+            folded += multiplicity
+            count = self._counts.get(file_id, 0) + multiplicity
+            self._counts[file_id] = count
+            tick = next(self._clock)
+            self._last_access[file_id] = tick
+            if file_id in self._resident:
+                heapq.heappush(self._heap, (count, tick, file_id))
+        observed = int(total) if total is not None else folded
+        self.stats.reads += observed
+        self.stats.hits += observed

@@ -1,0 +1,102 @@
+"""Least-recently-used whole-object caching (Ceph's cache-tier policy)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.baselines.lru import LRUCache
+from repro.exceptions import CacheError
+from repro.policies.base import AccessOutcome, ChunkCachingPolicy, Eviction
+
+
+class LRUPolicy(ChunkCachingPolicy):
+    """Whole-object LRU over chunk-sized entries.
+
+    Misses promote the whole object, evicting least-recently-used residents
+    to make room; objects larger than the whole cache are simply not cached
+    (clean miss path).  ``replication`` inflates the footprint each cached
+    copy occupies (Ceph's cache tier stores replicated objects) without
+    changing the chunk-occupancy snapshot the scheduler sees.
+    """
+
+    def __init__(
+        self,
+        capacity_chunks: int,
+        chunks_per_file: Optional[Mapping[str, int]] = None,
+        replication: int = 1,
+    ):
+        if replication < 1:
+            raise CacheError("replication factor must be at least 1")
+        self._replication = int(replication)
+        self._cache = LRUCache(capacity_chunks)
+        super().__init__(capacity_chunks, chunks_per_file)
+
+    def _stored_size(self, file_id: str) -> int:
+        return self.footprint(file_id) * self._replication
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+
+    def lookup(self, file_id: str) -> int:
+        return self.footprint(file_id) if self._cache.peek(file_id) else 0
+
+    def evict(self, file_id: str) -> bool:
+        return self._cache.evict(file_id)
+
+    def occupancy(self) -> Dict[str, int]:
+        return {str(key): self.footprint(str(key)) for key in self._cache.keys()}
+
+    @property
+    def used_chunks(self) -> int:
+        return self._cache.used
+
+    def _on_hit(self, file_id: str, now: float) -> None:
+        self._cache.touch(file_id)
+
+    def _on_miss(self, file_id: str, now: float) -> Tuple[bool, List[Eviction]]:
+        victims = self._cache.insert(file_id, self._stored_size(file_id))
+        promoted = self._cache.peek(file_id)
+        evicted = [
+            (str(key), self.footprint(str(key))) for key, _ in victims
+        ]
+        return promoted, evicted
+
+    def observe(self, file_id: str, now: float = 0.0) -> AccessOutcome:
+        # Hot-path specialisation of the base template (no time-driven
+        # hooks, hit == membership): one OrderedDict touch per hit.
+        stats = self.stats
+        stats.reads += 1
+        if self._cache.touch(file_id):
+            stats.hits += 1
+            return AccessOutcome(True, self.footprint(file_id))
+        promoted, evicted = self._on_miss(file_id, now)
+        if promoted:
+            stats.promotions += 1
+        if evicted:
+            stats.evicted_chunks += sum(chunks for _, chunks in evicted)
+        return AccessOutcome(False, 0, promoted, tuple(evicted))
+
+    # ------------------------------------------------------------------
+    # Epoch fast path
+    # ------------------------------------------------------------------
+
+    def touch_epoch(
+        self,
+        file_ids: Sequence[str],
+        counts: Optional[Sequence[int]] = None,
+        now: float = 0.0,
+        times: Optional[Sequence[float]] = None,
+        total: Optional[int] = None,
+    ) -> None:
+        # A run of hits leaves the unique files ordered by last access; one
+        # move_to_end per unique file reproduces per-request processing.
+        touch = self._cache.touch
+        for file_id in file_ids:
+            touch(file_id)
+        if total is None:
+            total = len(file_ids) if counts is None else int(sum(counts))
+        self.stats.reads += total
+        self.stats.hits += total

@@ -1,0 +1,112 @@
+"""Time-to-live caching: entries expire a fixed lifetime after insertion."""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.exceptions import CacheError
+from repro.policies.base import ChunkCachingPolicy, Eviction
+
+
+class TTLPolicy(ChunkCachingPolicy):
+    """Whole-object caching with expiry ``ttl`` time units after insertion.
+
+    Misses promote the object with an expiry stamp of ``now + ttl``;
+    accesses do not refresh the stamp (set ``refresh_on_hit=True`` for a
+    sliding window).  Capacity pressure evicts the entry closest to expiry,
+    which with a constant ``ttl`` and no refresh is FIFO order.  With
+    ``ttl=inf`` (the default) the policy degenerates to plain FIFO.
+
+    Because residency changes with time -- not only on accesses -- the
+    policy advertises ``epoch_invariant = False`` and exposes the earliest
+    expiry via :meth:`next_event_time`, letting the epoch replay place an
+    epoch boundary at every expiry instant and stay exact.
+    """
+
+    epoch_invariant = False
+
+    def __init__(
+        self,
+        capacity_chunks: int,
+        chunks_per_file: Optional[Mapping[str, int]] = None,
+        ttl: float = math.inf,
+        refresh_on_hit: bool = False,
+    ):
+        if not ttl > 0:
+            raise CacheError(f"ttl must be positive, got {ttl}")
+        super().__init__(capacity_chunks, chunks_per_file)
+        self._ttl = float(ttl)
+        self._refresh_on_hit = bool(refresh_on_hit)
+        # file_id -> (chunks, expiry); kept ordered by expiry (constant ttl
+        # means insertion/refresh order is expiry order).
+        self._entries: "OrderedDict[str, Tuple[int, float]]" = OrderedDict()
+        self._used = 0
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+
+    def lookup(self, file_id: str) -> int:
+        entry = self._entries.get(file_id)
+        return entry[0] if entry is not None else 0
+
+    def evict(self, file_id: str) -> bool:
+        entry = self._entries.pop(file_id, None)
+        if entry is None:
+            return False
+        self._used -= entry[0]
+        return True
+
+    def occupancy(self) -> Dict[str, int]:
+        return {file_id: chunks for file_id, (chunks, _) in self._entries.items()}
+
+    @property
+    def used_chunks(self) -> int:
+        return self._used
+
+    # ------------------------------------------------------------------
+    # Time-driven hooks
+    # ------------------------------------------------------------------
+
+    def advance(self, now: float) -> List[Eviction]:
+        expired: List[Eviction] = []
+        while self._entries:
+            file_id, (chunks, expiry) = next(iter(self._entries.items()))
+            if expiry > now:
+                break
+            del self._entries[file_id]
+            self._used -= chunks
+            expired.append((file_id, chunks))
+        return expired
+
+    def next_event_time(self) -> float:
+        if not self._entries:
+            return math.inf
+        _, (_, expiry) = next(iter(self._entries.items()))
+        return expiry
+
+    # ------------------------------------------------------------------
+    # Hit/miss handlers
+    # ------------------------------------------------------------------
+
+    def _on_hit(self, file_id: str, now: float) -> None:
+        # Guarded: the fixed-epoch replay may fold a frozen-classified hit
+        # whose entry an earlier in-epoch miss already evicted.
+        if self._refresh_on_hit and file_id in self._entries:
+            chunks, _ = self._entries.pop(file_id)
+            self._entries[file_id] = (chunks, now + self._ttl)
+
+    def _on_miss(self, file_id: str, now: float) -> Tuple[bool, List[Eviction]]:
+        size = self.footprint(file_id)
+        if size > self._capacity:
+            return False, []
+        evicted: List[Eviction] = []
+        while self._used + size > self._capacity and self._entries:
+            victim, (chunks, _) = self._entries.popitem(last=False)
+            self._used -= chunks
+            evicted.append((victim, chunks))
+        self._entries[file_id] = (size, now + self._ttl)
+        self._used += size
+        return True, evicted

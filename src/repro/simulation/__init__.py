@@ -16,6 +16,11 @@ from repro.simulation.arrivals import (
     merge_arrival_streams,
 )
 from repro.simulation.batch import run_batch_simulation
+from repro.simulation.replay import (
+    fifo_departures_grouped,
+    last_access_fold,
+    multi_server_departures,
+)
 from repro.simulation.simulator import SimulationConfig, SimulationResult, StorageSimulator
 
 __all__ = [
@@ -30,6 +35,9 @@ __all__ = [
     "merge_arrival_streams",
     "generate_request_arrays",
     "run_batch_simulation",
+    "fifo_departures_grouped",
+    "last_access_fold",
+    "multi_server_departures",
     "StorageSimulator",
     "SimulationConfig",
     "SimulationResult",

@@ -137,10 +137,13 @@ class TestScenarioSerialization:
 
 class TestRegistries:
     def test_builtin_components_registered(self):
+        from repro.api import list_policies
+
         assert set(list_solvers()) == {"projected_gradient", "frank_wolfe", "slsqp"}
         assert set(list_engines()) == {"event", "batch"}
         assert set(list_baselines()) == {"no_cache", "whole_file", "proportional", "exact"}
         assert set(list_workloads()) == {"paper_default", "ten_file"}
+        assert set(list_policies()) == {"lru", "lfu", "arc", "ttl", "functional_static"}
         assert set(list_experiments()) == {
             "fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10", "fig11", "tables",
         }

@@ -253,9 +253,63 @@ class TestCacheTier:
         osds = {osd_id: OSD(osd_id, rng=rng) for osd_id in range(12)}
         pool = ErasureCodedPool(PoolConfig("base", n=7, k=4, chunk_size_mb=16), osds)
         with pytest.raises(ClusterError):
-            CacheTier(pool, capacity_mb=0)
+            CacheTier(pool, capacity_mb=-1)
         with pytest.raises(ClusterError):
             CacheTier(pool, capacity_mb=10, replication=0)
+
+    def test_zero_capacity_tier_misses_cleanly(self, rng):
+        # Degenerate configuration: a zero-capacity tier must serve every
+        # read through the miss path (hit ratio 0.0), never raise.
+        osds = {osd_id: OSD(osd_id, rng=rng) for osd_id in range(12)}
+        pool = ErasureCodedPool(PoolConfig("base", n=7, k=4, chunk_size_mb=16), osds)
+        tier = CacheTier(pool, capacity_mb=0, rng=rng)
+        tier.write_object("obj", 64)
+        for attempt in range(3):
+            completion, hit = tier.read_object("obj", float(attempt))
+            assert completion > 0.0
+            assert not hit
+        assert tier.stats.hit_ratio == 0.0
+        assert tier.used_mb == 0
+        assert tier.stats.evictions_mb == 0.0
+        assert tier.stats.promotions == 0  # nothing was actually promoted
+
+    def test_object_larger_than_cache_misses_cleanly(self, rng):
+        osds = {osd_id: OSD(osd_id, rng=rng) for osd_id in range(12)}
+        pool = ErasureCodedPool(PoolConfig("base", n=7, k=4, chunk_size_mb=16), osds)
+        tier = CacheTier(pool, capacity_mb=32, rng=rng)
+        tier.write_object("huge", 64)  # bigger than the whole tier
+        _, hit = tier.read_object("huge", 0.0)
+        assert not hit
+        assert not tier.resident("huge")
+        assert tier.stats.hit_ratio == 0.0
+        # Nothing was resident, so nothing can have been evicted.
+        assert tier.stats.evictions_mb == 0.0
+
+    def test_rewrite_with_different_size_recharges_the_policy(self, rng):
+        osds = {osd_id: OSD(osd_id, rng=rng) for osd_id in range(12)}
+        pool = ErasureCodedPool(PoolConfig("base", n=7, k=4, chunk_size_mb=16), osds)
+        tier = CacheTier(pool, capacity_mb=128, rng=rng)
+        tier.write_object("a", 16)
+        assert tier.used_mb == 16
+        tier.write_object("a", 64)  # rewrite larger: footprint must follow
+        assert tier.used_mb == 64
+        tier.write_object("a", 16)  # and shrink back
+        assert tier.used_mb == 16
+
+    def test_eviction_accounting_counts_victim_sizes(self, rng):
+        osds = {osd_id: OSD(osd_id, rng=rng) for osd_id in range(12)}
+        pool = ErasureCodedPool(PoolConfig("base", n=7, k=4, chunk_size_mb=16), osds)
+        tier = CacheTier(pool, capacity_mb=128, rng=rng)
+        tier.write_object("a", 64)
+        tier.write_object("b", 64)
+        tier.write_object("c", 64)  # evicts "a" (64 MB victim)
+        assert tier.stats.evictions_mb == 64.0
+        # A miss-path promotion that displaces a resident object must be
+        # accounted too (the pre-policy implementation missed these).
+        _, hit = tier.read_object("a", 0.0)  # miss -> promote, evicts "b"
+        assert not hit
+        assert tier.stats.evictions_mb == 128.0
+        assert tier.stats.promotions == 1
 
 
 class TestCephLikeCluster:
