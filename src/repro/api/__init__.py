@@ -40,28 +40,33 @@ from repro.api.registry import (
     BASELINES,
     ENGINES,
     EXPERIMENTS,
+    KERNEL_BACKENDS,
     POLICIES,
     SOLVERS,
     WORKLOADS,
     BaselineSpec,
     EngineSpec,
+    KernelBackendSpec,
     PolicySpec,
     Registry,
     SolverSpec,
     WorkloadSpec,
     get_baseline,
     get_engine,
+    get_kernel_backend_spec,
     get_policy,
     get_solver,
     get_workload,
     list_baselines,
     list_engines,
     list_experiments,
+    list_kernel_backends,
     list_policies,
     list_solvers,
     list_workloads,
     register_baseline,
     register_engine,
+    register_kernel_backend,
     register_policy,
     register_solver,
     register_workload,
@@ -91,27 +96,32 @@ __all__ = [
     "BaselineSpec",
     "WorkloadSpec",
     "PolicySpec",
+    "KernelBackendSpec",
     "SOLVERS",
     "ENGINES",
     "BASELINES",
     "WORKLOADS",
     "POLICIES",
+    "KERNEL_BACKENDS",
     "EXPERIMENTS",
     "register_solver",
     "register_engine",
     "register_baseline",
     "register_workload",
     "register_policy",
+    "register_kernel_backend",
     "get_solver",
     "get_engine",
     "get_baseline",
     "get_workload",
     "get_policy",
+    "get_kernel_backend_spec",
     "list_solvers",
     "list_engines",
     "list_baselines",
     "list_workloads",
     "list_policies",
+    "list_kernel_backends",
     # serialization
     "to_jsonable",
     "json_dumps",

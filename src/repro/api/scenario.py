@@ -16,7 +16,14 @@ from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple
 
-from repro.api.registry import BASELINES, ENGINES, POLICIES, SOLVERS, WORKLOADS
+from repro.api.registry import (
+    BASELINES,
+    ENGINES,
+    KERNEL_BACKENDS,
+    POLICIES,
+    SOLVERS,
+    WORKLOADS,
+)
 from repro.exceptions import RegistryError, ScenarioError
 
 #: Recognised experiment scales.
@@ -47,6 +54,11 @@ class Scenario:
         Registered Prob-Pi solver, used when ``policy == "optimal"``.
     engine:
         Registered simulation engine (sweeps default to ``"batch"``).
+    backend:
+        Registered kernel backend (``repro.api.list_kernel_backends()``)
+        the queueing kernels compute in; ``"numpy"`` is the bit-exact
+        reference, ``"array_api_strict"``/``"cupy"``/``"jax"`` when their
+        modules are importable.
     seed:
         Root seed for model construction and every simulation stream.
     scale:
@@ -78,6 +90,7 @@ class Scenario:
     policy: str = OPTIMAL_POLICY
     solver: str = "projected_gradient"
     engine: str = "batch"
+    backend: str = "numpy"
     seed: int = 2016
     scale: str = "fast"
     tolerance: float = 0.01
@@ -119,6 +132,7 @@ class Scenario:
                 self.policy,
                 self.solver,
                 self.engine,
+                self.backend,
                 self.seed,
                 self.scale,
                 self.tolerance,
@@ -141,6 +155,7 @@ class Scenario:
         WORKLOADS.get(self.workload)
         ENGINES.get(self.engine)
         SOLVERS.get(self.solver)
+        KERNEL_BACKENDS.get(self.backend)
         if (
             self.policy != OPTIMAL_POLICY
             and self.policy not in BASELINES
@@ -239,7 +254,8 @@ class Scenario:
         return (
             f"Scenario({self.workload}: {self.num_files} files, "
             f"C={self.cache_capacity}, code={self.code}, policy={policy}, "
-            f"engine={self.engine}, seed={self.seed}, scale={self.scale})"
+            f"engine={self.engine}, backend={self.backend}, "
+            f"seed={self.seed}, scale={self.scale})"
         )
 
     # ------------------------------------------------------------------
@@ -260,6 +276,7 @@ class Scenario:
             "policy": self.policy,
             "solver": self.solver,
             "engine": self.engine,
+            "backend": self.backend,
             "seed": self.seed,
             "scale": self.scale,
             "tolerance": self.tolerance,

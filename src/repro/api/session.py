@@ -26,6 +26,7 @@ from repro.api.serialize import json_dumps, write_json
 from repro.core.algorithm import OptimizationResult
 from repro.core.model import StorageSystemModel
 from repro.core.placement import CachePlacement, placement_histogram
+from repro.kernels import use_kernel_backend
 from repro.simulation.simulator import SimulationConfig, SimulationResult
 
 
@@ -208,29 +209,34 @@ class Session:
     # ------------------------------------------------------------------
 
     def run(self, scenario: Scenario) -> RunResult:
-        """Execute optimize -> schedule -> simulate for one scenario."""
+        """Execute optimize -> schedule -> simulate for one scenario.
+
+        The scenario's kernel backend is active for the whole pipeline, so
+        every queueing kernel the stages reach computes in that namespace.
+        """
         timings: Dict[str, float] = {}
         started = time.perf_counter()
 
-        stage = time.perf_counter()
-        model = self.build_model(scenario)
-        timings["build_model"] = time.perf_counter() - stage
-
-        stage = time.perf_counter()
-        placement, optimization = self._place(scenario, model)
-        if scenario.uses_optimizer:
-            place_stage = "optimize"
-        elif scenario.uses_cache_policy:
-            place_stage = "policy"
-        else:
-            place_stage = "baseline"
-        timings[place_stage] = time.perf_counter() - stage
-
-        simulation: Optional[SimulationResult] = None
-        if scenario.simulate:
+        with use_kernel_backend(scenario.backend):
             stage = time.perf_counter()
-            simulation = self._simulate(scenario, model, placement)
-            timings["simulate"] = time.perf_counter() - stage
+            model = self.build_model(scenario)
+            timings["build_model"] = time.perf_counter() - stage
+
+            stage = time.perf_counter()
+            placement, optimization = self._place(scenario, model)
+            if scenario.uses_optimizer:
+                place_stage = "optimize"
+            elif scenario.uses_cache_policy:
+                place_stage = "policy"
+            else:
+                place_stage = "baseline"
+            timings[place_stage] = time.perf_counter() - stage
+
+            simulation: Optional[SimulationResult] = None
+            if scenario.simulate:
+                stage = time.perf_counter()
+                simulation = self._simulate(scenario, model, placement)
+                timings["simulate"] = time.perf_counter() - stage
 
         timings["total"] = time.perf_counter() - started
         result = RunResult(

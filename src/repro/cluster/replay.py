@@ -59,10 +59,11 @@ from repro.cluster.devices import (
 from repro.exceptions import ClusterError
 from repro.policies import ChunkCachingPolicy, create_policy
 from repro.simulation.arrivals import generate_request_arrays
-from repro.simulation.replay import (
+from repro.kernels import (
     fifo_departures_grouped,
     last_access_fold,
     multi_server_departures,
+    segment_max,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -667,7 +668,8 @@ class ClusterReplay:
             departures = fifo_departures_grouped(
                 osds, times[requests], services, self._num_osds
             )
-            ssd_entry[storage_requests] = np.maximum.reduceat(departures, starts)
+            # Fork-join: each miss completes when its slowest chunk departs.
+            ssd_entry[storage_requests] = segment_max(departures, starts)
         order = np.argsort(ssd_entry, kind="stable")
         departures = multi_server_departures(
             ssd_entry[order], self._ssd_latency_ms, self._ssd_devices

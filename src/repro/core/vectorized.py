@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.bound import SolutionState
 from repro.core.model import StorageSystemModel
 from repro.exceptions import InfeasibleError, OptimizationError
+from repro.kernels import segment_max, segment_sum
 
 #: Utilisation clamp used to keep the objective finite (and extremely large)
 #: when a candidate point drives a node beyond its stability region.
@@ -226,15 +227,15 @@ class VectorizedSystem:
     # ------------------------------------------------------------------
 
     def _file_sum(self, values: np.ndarray) -> np.ndarray:
-        """Per-file sums of a pair vector (segmented ``reduceat`` fast path)."""
+        """Per-file sums of a pair vector (segmented kernel fast path)."""
         if self._file_segments_contiguous:
-            return np.add.reduceat(values, self._file_offsets)
+            return segment_sum(values, self._file_offsets)
         return np.bincount(self.pair_file, weights=values, minlength=self.num_files)
 
     def _file_max(self, values: np.ndarray) -> np.ndarray:
         """Per-file maxima of a pair vector."""
         if self._file_segments_contiguous:
-            return np.maximum.reduceat(values, self._file_offsets)
+            return segment_max(values, self._file_offsets)
         result = np.full(self.num_files, -np.inf)
         np.maximum.at(result, self.pair_file, values)
         return result

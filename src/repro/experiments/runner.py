@@ -9,10 +9,12 @@ the paper (1000 files, 1800-second benchmarks), which takes considerably
 longer.  Uniform flags forwarded to every experiment that supports them:
 
 * ``--engine {batch,event,...}`` -- override the simulation engine,
+* ``--backend {numpy,...}`` -- select the kernel backend the run's
+  queueing kernels compute in (``repro.api.list_kernel_backends()``),
 * ``--seed N`` -- override the experiment's root seed,
 * ``--json`` -- emit the machine-readable result instead of the text report,
-* ``--list`` -- show every registered experiment, solver, engine, baseline
-  and workload.
+* ``--list`` -- show every registered experiment, solver, engine, baseline,
+  kernel backend and workload.
 """
 
 from __future__ import annotations
@@ -28,11 +30,13 @@ from repro.api.registry import (
     BASELINES,
     ENGINES,
     EXPERIMENTS as EXPERIMENT_REGISTRY,
+    KERNEL_BACKENDS,
     POLICIES,
     SOLVERS,
     WORKLOADS,
 )
 from repro.api.serialize import json_dumps
+from repro.kernels import use_kernel_backend
 
 
 def run_experiment(
@@ -40,18 +44,22 @@ def run_experiment(
     scale: str = "fast",
     *,
     engine: Optional[str] = None,
+    backend: Optional[str] = None,
     seed: Optional[int] = None,
     as_json: bool = False,
 ) -> str:
     """Run one registered experiment and return its formatted report.
 
-    With ``as_json=True`` the report is a JSON document carrying the full
-    typed result; otherwise it is the experiment's text rendering under a
-    timing header.
+    ``backend`` selects the kernel backend active for the whole run (every
+    queueing kernel the experiment reaches computes in that namespace);
+    ``None`` keeps the process default.  With ``as_json=True`` the report
+    is a JSON document carrying the full typed result; otherwise it is the
+    experiment's text rendering under a timing header.
     """
     spec = EXPERIMENT_REGISTRY.get(name)
     started = time.time()
-    result = spec.run(scale=scale, engine=engine, seed=seed)
+    with use_kernel_backend(backend) as active_backend:
+        result = spec.run(scale=scale, engine=engine, seed=seed)
     elapsed = time.time() - started
     if as_json:
         return json_dumps(
@@ -64,6 +72,7 @@ def run_experiment(
                 # engine/seed the run did not actually use.
                 "engine": engine if engine is not None and spec.accepts("engine") else None,
                 "seed": seed if seed is not None and spec.accepts("seed") else None,
+                "backend": active_backend.name,
                 "elapsed_seconds": elapsed,
                 "result": result,
             }
@@ -106,6 +115,7 @@ def format_listing() -> str:
     sections = (
         ("solvers", SOLVERS),
         ("engines", ENGINES),
+        ("kernel backends", KERNEL_BACKENDS),
         ("baselines", BASELINES),
         ("cache policies", POLICIES),
         ("workloads", WORKLOADS),
@@ -147,6 +157,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the simulation engine for experiments that simulate",
     )
     parser.add_argument(
+        "--backend",
+        choices=KERNEL_BACKENDS.names(),
+        default=None,
+        help="kernel backend the run's queueing kernels compute in "
+        "(default: the process default, usually numpy)",
+    )
+    parser.add_argument(
         "--seed",
         type=int,
         default=None,
@@ -162,7 +179,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--list",
         action="store_true",
         dest="list_components",
-        help="list every registered experiment, solver, engine, baseline and workload",
+        help="list every registered experiment, solver, engine, kernel "
+        "backend, baseline and workload",
     )
     return parser
 
@@ -182,6 +200,7 @@ def main(argv=None) -> int:
             name,
             args.scale,
             engine=args.engine,
+            backend=args.backend,
             seed=args.seed,
             as_json=args.as_json,
         )

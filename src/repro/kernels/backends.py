@@ -1,0 +1,221 @@
+"""Array-API backend resolution for the shared queueing kernels.
+
+Every kernel in :mod:`repro.kernels.queueing` is written twice over:
+
+* a **NumPy fast path** that is byte-for-byte the inline implementation the
+  simulation engines carried before the kernel layer existed (ufunc
+  ``accumulate`` / ``reduceat`` scans, ``lexsort``), and
+* a **portable path** written against the Python array-API standard
+  (``cumulative_sum``, stable ``argsort``, ``searchsorted``, gathers via
+  ``take`` instead of fancy-index scatters), used by every other backend.
+
+A :class:`KernelBackend` bundles the resolved array namespace with the
+capability flag that selects between the two paths, plus the boundary
+converters (``asarray`` / ``to_numpy``): kernels accept NumPy arrays at the
+edge, compute in the backend's namespace, and hand NumPy arrays back, so the
+engines stay backend-agnostic.
+
+Backends are *named* and live in the :data:`repro.api.registry.KERNEL_BACKENDS`
+registry (``numpy`` always; ``array_api_strict``, ``cupy`` and ``jax`` when
+importable), so they are selectable via ``Scenario(backend=...)``, the
+experiments CLI ``--backend`` flag, or the ``REPRO_KERNEL_BACKEND``
+environment variable.  Third-party namespaces register with
+:func:`repro.api.registry.register_kernel_backend`.
+
+This module deliberately imports nothing from :mod:`repro.api` at module
+scope -- the registry is resolved lazily inside the lookup helpers -- so the
+kernel layer can be imported by the engines without creating an import
+cycle through the facade.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import RegistryError
+
+#: Environment variable naming the process-wide default backend.
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """A resolved kernel backend: array namespace plus capability flags.
+
+    Attributes
+    ----------
+    name:
+        Registry name of the backend (``"numpy"``, ``"array_api_strict"``...).
+    xp:
+        The array namespace the kernels compute in.
+    native_numpy:
+        Whether ``xp`` *is* NumPy, enabling the ufunc fast paths
+        (``np.maximum.accumulate``, ``np.add.reduceat``, ``np.lexsort``)
+        that the array-API standard has no equivalent for.
+    to_host:
+        Optional converter from a backend array to something
+        ``np.asarray`` accepts (e.g. ``cupy.asnumpy``); when ``None`` the
+        generic ``__array__`` / DLPack route is used.
+    """
+
+    name: str
+    xp: Any
+    native_numpy: bool = False
+    to_host: Optional[Callable[[Any], Any]] = field(default=None, compare=False)
+
+    # -- boundary converters -------------------------------------------
+
+    def asarray(self, values: Any, dtype: Any = None) -> Any:
+        """Convert ``values`` into this backend's array type."""
+        if self.native_numpy:
+            return np.asarray(values, dtype=dtype)
+        if dtype is not None:
+            dtype = getattr(self.xp, np.dtype(dtype).name)
+        return self.xp.asarray(np.asarray(values), dtype=dtype)
+
+    def to_numpy(self, array: Any) -> np.ndarray:
+        """Convert a backend array back into a NumPy array."""
+        if self.native_numpy:
+            return np.asarray(array)
+        if self.to_host is not None:
+            return np.asarray(self.to_host(array))
+        try:
+            return np.asarray(array)
+        except (TypeError, ValueError):
+            # Strict array-API objects may refuse __array__; DLPack is the
+            # standard's zero-copy escape hatch for CPU-resident data.
+            return np.asarray(np.from_dlpack(array))
+
+
+# ----------------------------------------------------------------------
+# Built-in backend loaders (registered by repro.api.registry)
+# ----------------------------------------------------------------------
+
+
+def load_numpy_backend() -> KernelBackend:
+    """NumPy reference backend (ufunc fast paths; always available)."""
+    return KernelBackend(name="numpy", xp=np, native_numpy=True)
+
+
+def load_array_api_strict_backend() -> KernelBackend:
+    """array-api-strict conformance backend (portable paths only)."""
+    xp = importlib.import_module("array_api_strict")
+    return KernelBackend(name="array_api_strict", xp=xp)
+
+
+def load_cupy_backend() -> KernelBackend:
+    """CuPy GPU backend via its array-API-compatible namespace."""
+    cupy = importlib.import_module("cupy")
+    try:
+        xp = importlib.import_module("array_api_compat.cupy")
+    except ImportError:
+        xp = cupy
+    return KernelBackend(name="cupy", xp=xp, to_host=cupy.asnumpy)
+
+
+def load_jax_backend() -> KernelBackend:
+    """JAX backend via ``jax.numpy`` (immutable arrays; portable paths)."""
+    jnp = importlib.import_module("jax.numpy")
+    return KernelBackend(name="jax", xp=jnp)
+
+
+def module_available(module_name: str) -> bool:
+    """Whether ``module_name`` is importable (cheap ``find_spec`` probe)."""
+    try:
+        return importlib.util.find_spec(module_name) is not None
+    except (ImportError, ValueError):
+        return False
+
+
+# ----------------------------------------------------------------------
+# Active-backend state
+# ----------------------------------------------------------------------
+
+#: Resolved backends by name (a backend is loaded at most once).
+_resolved: Dict[str, KernelBackend] = {}
+
+#: Stack of backends activated via :func:`use_kernel_backend`.
+_active: List[KernelBackend] = []
+
+#: The process default (lazy; honours :data:`BACKEND_ENV_VAR` on first use).
+_default: Optional[KernelBackend] = None
+
+BackendLike = Union[None, str, KernelBackend]
+
+
+def _registry():
+    # Lazy: repro.api imports the engines, which import this module.
+    from repro.api import registry
+
+    return registry.KERNEL_BACKENDS
+
+
+def resolve_kernel_backend(backend: BackendLike = None) -> KernelBackend:
+    """Resolve ``backend`` (name, instance or ``None``) to a backend.
+
+    ``None`` returns the active backend: the innermost
+    :func:`use_kernel_backend` context if one is open, otherwise the
+    process default (``numpy`` unless overridden by
+    :func:`set_default_kernel_backend` or ``REPRO_KERNEL_BACKEND``).
+    """
+    if backend is None:
+        return get_kernel_backend()
+    if isinstance(backend, KernelBackend):
+        return backend
+    if backend not in _resolved:
+        spec = _registry().get(backend)
+        try:
+            _resolved[backend] = spec.load()
+        except ImportError as error:
+            raise RegistryError(
+                f"kernel backend {backend!r} is registered but failed to "
+                f"import: {error}"
+            ) from error
+    return _resolved[backend]
+
+
+def get_kernel_backend() -> KernelBackend:
+    """The currently active kernel backend."""
+    if _active:
+        return _active[-1]
+    global _default
+    if _default is None:
+        _default = resolve_kernel_backend(
+            os.environ.get(BACKEND_ENV_VAR, "numpy")
+        )
+    return _default
+
+
+def active_kernel_backend_name() -> str:
+    """Name of the currently active kernel backend."""
+    return get_kernel_backend().name
+
+
+def set_default_kernel_backend(backend: BackendLike) -> KernelBackend:
+    """Set (and return) the process-wide default kernel backend."""
+    global _default
+    _default = resolve_kernel_backend(backend)
+    return _default
+
+
+@contextmanager
+def use_kernel_backend(backend: BackendLike) -> Iterator[KernelBackend]:
+    """Context manager activating ``backend`` for the enclosed kernels.
+
+    Nests: the innermost context wins, and the previous backend is
+    restored on exit.  ``None`` re-activates the current backend (a
+    no-op wrapper, convenient for optional ``backend=`` plumbing).
+    """
+    resolved = resolve_kernel_backend(backend)
+    _active.append(resolved)
+    try:
+        yield resolved
+    finally:
+        _active.pop()

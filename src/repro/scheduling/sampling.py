@@ -25,6 +25,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import SimulationError
+from repro.kernels import systematic_sample_positions
 
 
 def _validated_probs(probabilities: np.ndarray) -> np.ndarray:
@@ -82,25 +83,14 @@ def batch_systematic_inclusion_sample(
     if size == 0 or num_draws == 0:
         return np.empty((num_draws, 0) if not squeeze else (0,), dtype=np.int64)
 
-    # Independent per-row random orderings via argsort of uniforms.
-    order = rng.random((num_draws, num_keys)).argsort(axis=1)
-    shuffled = np.take_along_axis(probs, order, axis=1)
-    cumulative = np.cumsum(shuffled, axis=1)
-    # Rescale so each row's total is exactly `size` despite rounding.
-    cumulative *= size / cumulative[:, -1:]
-    grid = rng.random((num_draws, 1)) + np.arange(size, dtype=float)
-
-    # Flatten the per-row searchsorted: row r's values live in
-    # (r*(size+1), r*(size+1)+size], its grid in [r*(size+1), r*(size+1)+size).
-    row_base = (np.arange(num_draws, dtype=float) * (size + 1))[:, None]
-    flat_cumulative = (cumulative + row_base).ravel()
-    flat_grid = (grid + row_base).ravel()
-    flat_positions = np.searchsorted(flat_cumulative, flat_grid, side="right")
-    positions = flat_positions.reshape(num_draws, size) - (
-        np.arange(num_draws)[:, None] * num_keys
-    )
-    np.clip(positions, 0, num_keys - 1, out=positions)
-    selected = np.take_along_axis(order, positions, axis=1)
+    # All randomness is drawn here, in the pre-kernel stream order (the
+    # row-shuffle uniforms first, then the grid offsets), so seeded draws
+    # are bit-equal to the old inline implementation and identical for
+    # every kernel backend.  The pure-array core lives in
+    # :func:`repro.kernels.systematic_sample_positions`.
+    order_uniforms = rng.random((num_draws, num_keys))
+    grid_uniforms = rng.random((num_draws, 1))
+    selected = systematic_sample_positions(probs, order_uniforms, grid_uniforms, size)
     if squeeze:
         return selected[0]
     return selected

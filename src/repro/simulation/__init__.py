@@ -16,7 +16,10 @@ from repro.simulation.arrivals import (
     merge_arrival_streams,
 )
 from repro.simulation.batch import run_batch_simulation
-from repro.simulation.replay import (
+
+# Re-exported from the shared kernel layer (the repro.simulation.replay
+# shims remain for legacy direct imports, with a DeprecationWarning).
+from repro.kernels import (
     fifo_departures_grouped,
     last_access_fold,
     multi_server_departures,

@@ -57,6 +57,7 @@ import numpy as np
 
 from repro.core.model import StorageSystemModel
 from repro.exceptions import SimulationError
+from repro.kernels import fork_join_max, lindley_departures
 from repro.scheduling.sampling import batch_systematic_inclusion_sample
 from repro.scheduling.scheduler import ProbabilisticScheduler
 from repro.simulation.arrivals import generate_request_arrays
@@ -65,12 +66,9 @@ from repro.simulation.metrics import LatencyMetrics, SlotCounter
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.simulation.simulator import SimulationConfig, SimulationResult
 
-
-def _lindley_departures(arrivals: np.ndarray, services: np.ndarray) -> np.ndarray:
-    """Closed-form FIFO departure times for one node (see module docstring)."""
-    cumulative = np.cumsum(services)
-    idle_offsets = np.maximum.accumulate(arrivals - (cumulative - services))
-    return cumulative + idle_offsets
+#: Backwards-compatible alias: the Lindley scan now lives in repro.kernels
+#: (see :func:`repro.kernels.lindley_departures` for the derivation).
+_lindley_departures = lindley_departures
 
 
 def run_batch_simulation(
@@ -196,7 +194,7 @@ def run_batch_simulation(
             continue
         service = model.service(node_ids[position])
         draws = np.asarray(service.sample(node_rng, size=high - low), dtype=float)
-        departures_sorted[low:high] = _lindley_departures(sorted_time[low:high], draws)
+        departures_sorted[low:high] = lindley_departures(sorted_time[low:high], draws)
         busy_time[position] = float(draws.sum())
     departures = np.empty_like(departures_sorted)
     departures[order] = departures_sorted
@@ -206,9 +204,11 @@ def run_batch_simulation(
     # ------------------------------------------------------------------
     completion = times.copy()
     for low, high, selected_requests, set_size in group_slices:
-        per_request = departures[low:high].reshape(selected_requests.size, set_size)
+        per_request = fork_join_max(
+            departures[low:high], selected_requests.size, set_size
+        )
         completion[selected_requests] = np.maximum(
-            completion[selected_requests], per_request.max(axis=1)
+            completion[selected_requests], per_request
         )
 
     if config.cache_service is not None and num_requests:
@@ -226,7 +226,9 @@ def run_batch_simulation(
                 ),
                 dtype=float,
             )
-            cache_completion = times[selected] + draws.max(axis=1)
+            cache_completion = times[selected] + fork_join_max(
+                draws.ravel(), selected.size, int(cached_count)
+            )
             completion[selected] = np.maximum(completion[selected], cache_completion)
 
     # ------------------------------------------------------------------

@@ -1,33 +1,42 @@
-"""Vectorised queueing primitives shared by the trace-replay engines.
+"""Deprecated home of the trace-replay queueing primitives.
 
-The epoch-batched cluster replay (:mod:`repro.cluster.replay`) decomposes a
-stateful per-request benchmark into a sequential *policy* phase (cache
-state, inherently serial) and a *latency assembly* phase that is a pure
-function of the hit/miss classification and the pre-drawn randomness.  The
-assembly phase is built from two primitives, both closed-form rewrites of
-FIFO queues via the Lindley recursion already used by the batch simulation
-engine (:func:`repro.simulation.batch._lindley_departures`):
+The vectorised primitives that used to live here --
+``fifo_departures_grouped``, ``multi_server_departures`` and
+``last_access_fold`` -- moved to the shared kernel layer
+(:mod:`repro.kernels.queueing`), where they gained pluggable array-API
+backends.  This module keeps thin shims so existing imports keep working;
+new code should import from :mod:`repro.kernels` directly.
 
-* :func:`fifo_departures_grouped` -- many independent single-server FIFO
-  queues (the HDD OSDs), each solved with one Lindley scan over its
-  time-sorted arrivals.
-
-* :func:`multi_server_departures` -- one FIFO queue with ``c`` identical
-  servers and a *constant* service time (the SSD cache device pair).  With
-  constant service, jobs depart in arrival order and the ``i``-th job
-  starts exactly when the ``(i - c)``-th departs, so
-  ``D_i = max(A_i, D_{i-c}) + s``: the queue splits into ``c`` interleaved
-  lanes, each an independent Lindley recursion.
+Each shim emits a :class:`DeprecationWarning` and delegates to the kernel,
+so behaviour (and, on the default NumPy backend, the exact bit pattern of
+every output) is unchanged.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Tuple
 
 import numpy as np
 
-from repro.exceptions import SimulationError
-from repro.simulation.batch import _lindley_departures
+from repro import kernels as _kernels
+
+__all__ = [
+    "fifo_departures_grouped",
+    "multi_server_departures",
+    "last_access_fold",
+]
+
+
+def _warn(name: str) -> None:
+    # Local warning helper instead of repro.api.deprecation: importing the
+    # api facade from here would recreate the engines -> api import cycle.
+    warnings.warn(
+        f"repro.simulation.replay.{name} is deprecated; "
+        f"use repro.kernels.{name} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def fifo_departures_grouped(
@@ -36,80 +45,20 @@ def fifo_departures_grouped(
     services: np.ndarray,
     num_groups: int,
 ) -> np.ndarray:
-    """Departure times of per-group single-server FIFO queues.
-
-    Parameters
-    ----------
-    groups:
-        Queue index of each entry (``0 <= groups < num_groups``).
-    times:
-        Arrival time of each entry (any order).
-    services:
-        Service time of each entry.
-    num_groups:
-        Number of queues.
-
-    Entries of one queue are served in ``(time, input position)`` order;
-    the returned departures are aligned with the input arrays.
-    """
-    if not (groups.shape == times.shape == services.shape):
-        raise SimulationError("groups, times and services must align")
-    order = np.lexsort((np.arange(times.size), times, groups))
-    sorted_groups = groups[order]
-    sorted_times = times[order]
-    sorted_services = services[order]
-    boundaries = np.searchsorted(sorted_groups, np.arange(num_groups + 1))
-    departures_sorted = np.empty_like(sorted_times)
-    for group in range(num_groups):
-        low, high = int(boundaries[group]), int(boundaries[group + 1])
-        if low == high:
-            continue
-        departures_sorted[low:high] = _lindley_departures(
-            sorted_times[low:high], sorted_services[low:high]
-        )
-    departures = np.empty_like(departures_sorted)
-    departures[order] = departures_sorted
-    return departures
+    """Deprecated shim for :func:`repro.kernels.fifo_departures_grouped`."""
+    _warn("fifo_departures_grouped")
+    return _kernels.fifo_departures_grouped(groups, times, services, num_groups)
 
 
 def multi_server_departures(
     times: np.ndarray, service: float, num_servers: int
 ) -> np.ndarray:
-    """Departures of a FIFO queue with ``c`` servers and constant service.
-
-    ``times`` must be sorted ascending.  Jobs are dispatched to the
-    earliest-free server; with a constant service time this is equivalent
-    to ``c`` interleaved single-server Lindley lanes (see module docstring),
-    so the whole queue costs two vector scans per lane.
-    """
-    if num_servers < 1:
-        raise SimulationError("num_servers must be at least 1")
-    if times.size == 0:
-        return np.empty(0, dtype=float)
-    departures = np.empty_like(times)
-    for lane in range(num_servers):
-        lane_times = times[lane::num_servers]
-        lane_services = np.full(lane_times.size, float(service))
-        departures[lane::num_servers] = _lindley_departures(
-            lane_times, lane_services
-        )
-    return departures
+    """Deprecated shim for :func:`repro.kernels.multi_server_departures`."""
+    _warn("multi_server_departures")
+    return _kernels.multi_server_departures(times, service, num_servers)
 
 
 def last_access_fold(positions: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Collapse a run of accesses into its per-object summary.
-
-    Returns ``(unique_positions, counts, last_offsets)`` where
-    ``unique_positions`` are the distinct object positions of the run
-    ordered by *last* access (earliest last-access first), ``counts`` are
-    the per-object access multiplicities and ``last_offsets`` the offset of
-    each object's final access within the run.  Feeding the result to
-    :meth:`ChunkCachingPolicy.touch_epoch` reproduces the final policy
-    state of per-request processing for a pure hit run.
-    """
-    unique, rev_first, counts = np.unique(
-        positions[::-1], return_index=True, return_counts=True
-    )
-    last_offsets = positions.size - 1 - rev_first
-    order = np.argsort(last_offsets)
-    return unique[order], counts[order], last_offsets[order]
+    """Deprecated shim for :func:`repro.kernels.last_access_fold`."""
+    _warn("last_access_fold")
+    return _kernels.last_access_fold(positions)

@@ -1,0 +1,311 @@
+"""Backend registry plumbing and cross-backend numerical agreement.
+
+The NumPy backend is the bit-exact reference; every other registered
+backend runs the portable array-API code path and must agree with NumPy
+within 1e-12 on the same inputs (the portable prefix-max/cumsum formulations
+associate differently, so exact bit-equality is not required there).
+
+``array_api_strict`` is an optional extra (``pip install repro[array-api]``);
+its conformance tests skip when the module is not importable.  The CI
+``kernel-backends`` job installs it and runs this file under both backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    KERNEL_BACKENDS,
+    Scenario,
+    list_kernel_backends,
+    register_kernel_backend,
+)
+from repro.exceptions import RegistryError, ScenarioError
+from repro.kernels import (
+    KernelBackend,
+    active_kernel_backend_name,
+    fifo_departures_grouped,
+    fork_join_max,
+    get_kernel_backend,
+    last_access_fold,
+    lindley_departures,
+    module_available,
+    multi_server_departures,
+    resolve_kernel_backend,
+    segment_max,
+    segment_sum,
+    systematic_sample_positions,
+    use_kernel_backend,
+)
+
+requires_array_api_strict = pytest.mark.skipif(
+    not module_available("array_api_strict"),
+    reason="array_api_strict not installed (pip install repro[array-api])",
+)
+
+
+# ----------------------------------------------------------------------
+# Registry + scenario plumbing
+# ----------------------------------------------------------------------
+
+
+def test_numpy_backend_always_registered():
+    assert "numpy" in list_kernel_backends()
+    backend = resolve_kernel_backend("numpy")
+    assert backend.native_numpy
+    assert backend.xp is np
+
+
+def test_unknown_backend_raises_registry_error():
+    with pytest.raises(RegistryError, match="kernel backend"):
+        resolve_kernel_backend("definitely_not_a_backend")
+
+
+def test_use_kernel_backend_nests_and_restores():
+    base = active_kernel_backend_name()
+    with use_kernel_backend("numpy") as backend:
+        assert backend.name == "numpy"
+        assert active_kernel_backend_name() == "numpy"
+        with use_kernel_backend(None) as inner:
+            # None re-activates the current backend (optional plumbing).
+            assert inner.name == "numpy"
+    assert active_kernel_backend_name() == base
+
+
+def test_register_custom_backend_roundtrip():
+    @register_kernel_backend("numpy_alias", description="test alias backend")
+    def load_alias():
+        return KernelBackend(name="numpy_alias", xp=np, native_numpy=True)
+
+    try:
+        assert "numpy_alias" in list_kernel_backends()
+        with use_kernel_backend("numpy_alias"):
+            assert get_kernel_backend().name == "numpy_alias"
+            out = lindley_departures(np.array([0.0, 1.0]), np.array([2.0, 2.0]))
+        assert np.array_equal(out, np.array([2.0, 4.0]))
+        # Scenario accepts any registered backend name.
+        scenario = Scenario(backend="numpy_alias", simulate=False)
+        assert scenario.backend == "numpy_alias"
+    finally:
+        KERNEL_BACKENDS.unregister("numpy_alias")
+        from repro.kernels import backends as backend_state
+
+        backend_state._resolved.pop("numpy_alias", None)
+
+
+def test_scenario_backend_validates_and_roundtrips():
+    scenario = Scenario(backend="numpy")
+    payload = scenario.to_dict()
+    assert payload["backend"] == "numpy"
+    assert Scenario.from_dict(payload) == scenario
+    assert "backend=numpy" in scenario.describe()
+    with pytest.raises(RegistryError):
+        Scenario(backend="no_such_backend")
+
+
+# ----------------------------------------------------------------------
+# Cross-backend agreement (1e-12 vs the NumPy reference)
+# ----------------------------------------------------------------------
+
+TOLERANCE = 1e-12
+
+
+def _workload(seed=2016, size=600, num_groups=11):
+    rng = np.random.default_rng(seed)
+    return {
+        "arrivals": np.sort(rng.random(size) * 100.0),
+        "services": rng.random(size) + 1e-3,
+        "groups": rng.integers(0, num_groups, size),
+        "times": rng.random(size) * 100.0,
+        "num_groups": num_groups,
+        "positions": rng.integers(0, 37, size),
+    }
+
+
+def _other_backends():
+    return [name for name in list_kernel_backends() if name != "numpy"]
+
+
+@pytest.mark.parametrize("backend", _other_backends() or ["numpy"])
+def test_all_backends_match_numpy(backend):
+    work = _workload()
+    reference = {
+        "lindley": lindley_departures(work["arrivals"], work["services"]),
+        "grouped": fifo_departures_grouped(
+            work["groups"], work["times"], work["services"], work["num_groups"]
+        ),
+        "multi": multi_server_departures(work["arrivals"], 0.37, 3),
+    }
+    with use_kernel_backend(backend):
+        assert np.allclose(
+            lindley_departures(work["arrivals"], work["services"]),
+            reference["lindley"],
+            rtol=0.0,
+            atol=TOLERANCE,
+        )
+        assert np.allclose(
+            fifo_departures_grouped(
+                work["groups"], work["times"], work["services"], work["num_groups"]
+            ),
+            reference["grouped"],
+            rtol=0.0,
+            atol=TOLERANCE,
+        )
+        assert np.allclose(
+            multi_server_departures(work["arrivals"], 0.37, 3),
+            reference["multi"],
+            rtol=0.0,
+            atol=TOLERANCE,
+        )
+
+
+def test_portable_path_via_numpy_namespace():
+    """The portable code path agrees with the fast path on every kernel.
+
+    NumPy >= 2.0 implements the array-API surface the portable path uses
+    (``cumulative_sum``, ``concat``, ``unique_all``, stable ``argsort``),
+    so a non-native backend wrapping NumPy exercises the portable
+    implementations without any optional dependency -- the same code
+    ``array_api_strict``/CuPy/JAX run.
+    """
+    portable = KernelBackend(name="portable_numpy", xp=np, native_numpy=False)
+    work = _workload()
+    rng = np.random.default_rng(5)
+    counts = rng.integers(1, 9, 40)
+    values = rng.standard_normal(int(counts.sum()))
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]]).astype(np.int64)
+    fork_join_values = rng.standard_normal(200)
+    probs = np.full((50, 12), 3 / 12.0)
+    order_uniforms = rng.random((50, 12))
+    grid_uniforms = rng.random((50, 1))
+
+    reference = {
+        "lindley": lindley_departures(work["arrivals"], work["services"]),
+        "grouped": fifo_departures_grouped(
+            work["groups"], work["times"], work["services"], work["num_groups"]
+        ),
+        "multi": multi_server_departures(work["arrivals"], 0.37, 3),
+        "segment_max": segment_max(values, starts),
+        "segment_sum": segment_sum(values, starts),
+        "fork_join": fork_join_max(fork_join_values, 40, 5),
+        "sample": systematic_sample_positions(
+            probs, order_uniforms, grid_uniforms, 3
+        ),
+        "fold": last_access_fold(work["positions"]),
+    }
+    with use_kernel_backend(portable):
+        assert np.allclose(
+            lindley_departures(work["arrivals"], work["services"]),
+            reference["lindley"], rtol=0.0, atol=TOLERANCE,
+        )
+        assert np.allclose(
+            fifo_departures_grouped(
+                work["groups"], work["times"], work["services"], work["num_groups"]
+            ),
+            reference["grouped"], rtol=0.0, atol=TOLERANCE,
+        )
+        assert np.allclose(
+            multi_server_departures(work["arrivals"], 0.37, 3),
+            reference["multi"], rtol=0.0, atol=TOLERANCE,
+        )
+        assert np.allclose(
+            segment_max(values, starts),
+            reference["segment_max"], rtol=0.0, atol=TOLERANCE,
+        )
+        assert np.allclose(
+            segment_sum(values, starts),
+            reference["segment_sum"], rtol=0.0, atol=TOLERANCE,
+        )
+        assert np.allclose(
+            fork_join_max(fork_join_values, 40, 5),
+            reference["fork_join"], rtol=0.0, atol=TOLERANCE,
+        )
+        assert np.array_equal(
+            systematic_sample_positions(probs, order_uniforms, grid_uniforms, 3),
+            reference["sample"],
+        )
+        for got, expected in zip(
+            last_access_fold(work["positions"]), reference["fold"]
+        ):
+            assert np.array_equal(got, expected)
+
+
+@requires_array_api_strict
+def test_array_api_strict_full_surface():
+    """Every kernel agrees with NumPy within 1e-12 under array_api_strict."""
+    work = _workload()
+    counts = np.random.default_rng(5).integers(1, 9, 40)
+    values = np.random.default_rng(6).standard_normal(int(counts.sum()))
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]]).astype(np.int64)
+    probs = np.full((50, 12), 3 / 12.0)
+    sample_rng = np.random.default_rng(7)
+    order_uniforms = sample_rng.random((50, 12))
+    grid_uniforms = sample_rng.random((50, 1))
+
+    reference = {
+        "lindley": lindley_departures(work["arrivals"], work["services"]),
+        "grouped": fifo_departures_grouped(
+            work["groups"], work["times"], work["services"], work["num_groups"]
+        ),
+        "multi": multi_server_departures(work["arrivals"], 0.37, 3),
+        "segment_max": segment_max(values, starts),
+        "segment_sum": segment_sum(values, starts),
+        "fork_join": fork_join_max(values[:200], 40, 5),
+        "sample": systematic_sample_positions(
+            probs, order_uniforms, grid_uniforms, 3
+        ),
+        "fold": last_access_fold(work["positions"]),
+    }
+    with use_kernel_backend("array_api_strict"):
+        assert np.allclose(
+            lindley_departures(work["arrivals"], work["services"]),
+            reference["lindley"], rtol=0.0, atol=TOLERANCE,
+        )
+        assert np.allclose(
+            fifo_departures_grouped(
+                work["groups"], work["times"], work["services"], work["num_groups"]
+            ),
+            reference["grouped"], rtol=0.0, atol=TOLERANCE,
+        )
+        assert np.allclose(
+            multi_server_departures(work["arrivals"], 0.37, 3),
+            reference["multi"], rtol=0.0, atol=TOLERANCE,
+        )
+        assert np.allclose(
+            segment_max(values, starts),
+            reference["segment_max"], rtol=0.0, atol=TOLERANCE,
+        )
+        assert np.allclose(
+            segment_sum(values, starts),
+            reference["segment_sum"], rtol=0.0, atol=TOLERANCE,
+        )
+        assert np.allclose(
+            fork_join_max(values[:200], 40, 5),
+            reference["fork_join"], rtol=0.0, atol=TOLERANCE,
+        )
+        # Integer outputs: selection/ordering must match exactly.
+        assert np.array_equal(
+            systematic_sample_positions(probs, order_uniforms, grid_uniforms, 3),
+            reference["sample"],
+        )
+        for got, expected in zip(
+            last_access_fold(work["positions"]), reference["fold"]
+        ):
+            assert np.array_equal(got, expected)
+
+
+@requires_array_api_strict
+def test_array_api_strict_scenario_run():
+    """A tiny end-to-end run completes under the strict backend."""
+    from repro.api import run_scenario
+
+    result = run_scenario(
+        Scenario(
+            backend="array_api_strict",
+            num_files=6,
+            cache_capacity=4,
+            horizon=500.0,
+            seed=11,
+        )
+    )
+    assert result.simulation is not None
+    assert result.simulation.requests_completed >= 0
