@@ -1,0 +1,103 @@
+"""Benchmark: trace-ingestion throughput (CSV parse -> RequestStream).
+
+Generates a synthetic CDN-format trace in the committed fixture's exact
+format (``timestamp,object_id,size,op`` with ``video/seg-NNN.ts`` ids),
+then times the full :func:`repro.workloads.ingest.load_trace` path --
+``np.loadtxt`` structured parse, vectorised validation, read filtering,
+hash-based object-id factorization -- and gates end-to-end throughput at
+one million parsed requests per second.
+
+Writes ``BENCH_trace_ingest.json`` with rows/second and stage shares.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_report, write_bench_json
+from repro.workloads.ingest import load_trace, validate_trace
+
+#: Ingest-throughput gate: parsed read requests per second of wall time,
+#: end to end (parse + validate + filter + factorize).
+REQUIRED_ROWS_PER_SECOND = 1_000_000
+
+SCALES = {
+    "fast": {"rows": 400_000, "objects": 2_000},
+    "paper": {"rows": 2_000_000, "objects": 10_000},
+}
+
+
+def _write_synthetic_trace(path, rows: int, objects: int) -> None:
+    """A fixture-format CDN trace: sorted times, Zipf objects, GET-heavy."""
+    rng = np.random.default_rng(2016)
+    times = np.sort(rng.uniform(0.0, 86_400.0, rows)).round(3)
+    weights = 1.0 / np.arange(1, objects + 1) ** 0.9
+    weights /= weights.sum()
+    object_indices = rng.choice(objects, size=rows, p=weights)
+    sizes = rng.integers(512 * 1024, 256 * 1024 * 1024, rows)
+    ops = rng.choice(["GET", "GET", "GET", "GET", "HEAD", "PUT"], rows)
+    ids = np.array([f"video/seg-{index:05d}.ts" for index in range(objects)])
+    columns = np.empty(rows, dtype=object)
+    columns[:] = [
+        f"{t},{o},{s},{op}"
+        for t, o, s, op in zip(times, ids[object_indices], sizes, ops)
+    ]
+    with open(path, "w") as handle:
+        handle.write("timestamp,object_id,size,op\n")
+        handle.write("\n".join(columns))
+        handle.write("\n")
+
+
+def test_trace_ingest_throughput(tmp_path, scale):
+    params = SCALES[scale]
+    trace_path = tmp_path / "synthetic_cdn.csv"
+    _write_synthetic_trace(trace_path, params["rows"], params["objects"])
+
+    # Warm the page cache so the gate measures parsing, not cold I/O.
+    trace_path.read_bytes()
+
+    started = time.perf_counter()
+    stream = load_trace(trace_path)
+    elapsed = time.perf_counter() - started
+    rows_per_second = params["rows"] / elapsed
+
+    validate_started = time.perf_counter()
+    report = validate_trace(trace_path)
+    validate_seconds = time.perf_counter() - validate_started
+    assert report.ok
+
+    payload = {
+        "name": "trace_ingest",
+        "scale": scale,
+        "rows": params["rows"],
+        "objects_distinct": stream.num_objects,
+        "read_requests": stream.num_requests,
+        "ingest_seconds": elapsed,
+        "rows_per_second": rows_per_second,
+        "validate_seconds": validate_seconds,
+        "required_rows_per_second": REQUIRED_ROWS_PER_SECOND,
+    }
+    write_bench_json("trace_ingest", payload)
+    print_report(
+        f"Trace ingestion throughput (scale={scale})",
+        "\n".join(
+            [
+                f"rows parsed        : {params['rows']:,}",
+                f"read requests kept : {stream.num_requests:,}",
+                f"distinct objects   : {stream.num_objects:,}",
+                f"ingest wall time   : {elapsed:.3f} s",
+                f"throughput         : {rows_per_second:,.0f} rows/s "
+                f"(gate: {REQUIRED_ROWS_PER_SECOND:,})",
+                f"validate-only pass : {validate_seconds:.3f} s",
+            ]
+        ),
+    )
+
+    assert stream.num_requests > 0
+    assert rows_per_second >= REQUIRED_ROWS_PER_SECOND, (
+        f"trace ingest ran at {rows_per_second:,.0f} rows/s, "
+        f"below the {REQUIRED_ROWS_PER_SECOND:,} rows/s gate"
+    )

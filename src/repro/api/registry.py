@@ -168,11 +168,115 @@ class BaselineSpec:
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """A workload builder: ``build(scenario)`` returns a system model."""
+    """A workload builder behind the unified :class:`Workload` protocol.
+
+    ``builder(scenario, **workload_params)`` returns a
+    :class:`~repro.workloads.base.Workload` (or, for legacy builders, a
+    bare :class:`~repro.core.model.StorageSystemModel`, coerced into a
+    stationary workload).  Two builder styles are recognised:
+
+    * *new-style* -- ``builder(scenario, *, param=..., ...)``: the
+      scenario's ``workload_params`` are passed as keywords and validated
+      eagerly against the signature at :class:`Scenario` construction.
+    * *legacy* -- ``builder(scenario)`` (a single parameter): the builder
+      reads ``scenario.workload_params`` itself; no eager validation.
+
+    ``kind`` labels the workload family for listings: ``"stationary"``,
+    ``"non-stationary"`` or ``"trace"``.
+    """
 
     name: str
     description: str
-    build: Callable[..., Any]
+    builder: Callable[..., Any]
+    kind: str = "stationary"
+
+    # ------------------------------------------------------------------
+    # Signature introspection
+    # ------------------------------------------------------------------
+
+    def _parameters(self) -> Optional[List[Any]]:
+        import inspect
+
+        try:
+            signature = inspect.signature(self.builder)
+        except (TypeError, ValueError):  # builtins / C callables
+            return None
+        return list(signature.parameters.values())
+
+    @property
+    def legacy(self) -> bool:
+        """Whether the builder takes only the scenario (pre-protocol style)."""
+        parameters = self._parameters()
+        if parameters is None:
+            return True
+        import inspect
+
+        extra = parameters[1:]
+        return not extra and not any(
+            parameter.kind is inspect.Parameter.VAR_KEYWORD
+            for parameter in parameters
+        )
+
+    def accepted_params(self) -> Optional[Tuple[str, ...]]:
+        """The ``workload_params`` names the builder accepts.
+
+        ``None`` means unconstrained: a legacy builder (which reads the
+        params itself), an un-introspectable callable, or a builder with a
+        ``**kwargs`` catch-all.
+        """
+        parameters = self._parameters()
+        if parameters is None or self.legacy:
+            return None
+        import inspect
+
+        if any(
+            parameter.kind is inspect.Parameter.VAR_KEYWORD
+            for parameter in parameters
+        ):
+            return None
+        return tuple(
+            parameter.name
+            for parameter in parameters[1:]
+            if parameter.kind
+            in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            )
+        )
+
+    def validate_params(self, params: Any) -> None:
+        """Fail fast on ``workload_params`` the builder does not accept."""
+        if not params:
+            return
+        accepted = self.accepted_params()
+        if accepted is None:
+            return
+        unknown = sorted(set(params) - set(accepted))
+        if unknown:
+            from repro.exceptions import ScenarioError
+
+            raise ScenarioError(
+                f"workload {self.name!r} does not accept workload_params "
+                f"{unknown}; accepted parameters: {sorted(accepted) or '<none>'}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def create(self, scenario: Any) -> Any:
+        """Build the scenario's :class:`Workload` (protocol-coerced)."""
+        from repro.workloads.base import as_workload
+
+        if self.legacy:
+            built = self.builder(scenario)
+        else:
+            built = self.builder(scenario, **dict(scenario.workload_params))
+        return as_workload(built, name=self.name)
+
+    def build(self, scenario: Any) -> Any:
+        """Backwards-compatible view: the workload's stationary model."""
+        return self.create(scenario).model()
 
 
 @dataclass(frozen=True)
@@ -270,12 +374,28 @@ def register_baseline(name: str, description: str = "") -> Callable[[Callable[..
     return decorate
 
 
-def register_workload(name: str, description: str = "") -> Callable[[Callable[..., Any]], Callable[..., Any]]:
-    """Register ``build(scenario) -> StorageSystemModel`` as a workload."""
+def register_workload(
+    name: str, description: str = "", kind: str = "stationary"
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register a workload builder under the unified protocol.
+
+    New-style builders take ``(scenario, *, param=..., ...)`` and return a
+    :class:`~repro.workloads.base.Workload`; the keyword names become the
+    accepted ``workload_params``, validated eagerly at scenario
+    construction.  Legacy single-parameter builders returning a bare
+    :class:`~repro.core.model.StorageSystemModel` keep working unchanged
+    (the model is wrapped as a stationary workload, no eager validation).
+    """
 
     def decorate(func: Callable[..., Any]) -> Callable[..., Any]:
         WORKLOADS.register(
-            name, WorkloadSpec(name=name, description=description or _first_doc_line(func), build=func)
+            name,
+            WorkloadSpec(
+                name=name,
+                description=description or _first_doc_line(func),
+                builder=func,
+                kind=kind,
+            ),
         )
         return func
 
@@ -448,8 +568,10 @@ def _register_builtin_engines() -> None:
     }
 
     def make(engine_name: str) -> Callable[..., Any]:
-        def simulate(model, placement, config):
-            return StorageSimulator(model, placement, engine=engine_name).run(config)
+        def simulate(model, placement, config, requests=None):
+            return StorageSimulator(model, placement, engine=engine_name).run(
+                config, requests=requests
+            )
 
         return simulate
 
@@ -496,21 +618,33 @@ def _register_builtin_baselines() -> None:
 
 
 def _register_builtin_workloads() -> None:
-    from repro.workloads.defaults import DEFAULT_CODE, paper_default_model, ten_file_model
+    from repro.workloads.base import StationaryWorkload
+    from repro.workloads.catalog import (
+        DEFAULT_CODE,
+        paper_default_model,
+        ten_file_model,
+    )
+    from repro.workloads.ingest.trace_workload import build_trace
+    from repro.workloads.zoo import build_diurnal, build_drift, build_flash_crowd
 
-    def build_paper_default(scenario):
+    def build_paper_default(
+        scenario, *, num_nodes=12, arrival_rate_pattern=None, service_rates=None
+    ):
         n, k = scenario.code
-        return paper_default_model(
+        model = paper_default_model(
             num_files=scenario.num_files,
             cache_capacity=scenario.cache_capacity,
+            num_nodes=num_nodes,
             n=n,
             k=k,
+            arrival_rate_pattern=arrival_rate_pattern,
+            service_rates=service_rates,
             seed=scenario.seed,
             rate_scale=scenario.rate_scale,
-            **dict(scenario.workload_params),
         )
+        return StationaryWorkload(model, name="paper_default")
 
-    def build_ten_file(scenario):
+    def build_ten_file(scenario, *, arrival_rates=None, placement_mode="random"):
         if scenario.num_files != 10:
             raise RegistryError(
                 f"workload 'ten_file' is fixed at 10 files, got num_files={scenario.num_files}"
@@ -519,12 +653,14 @@ def _register_builtin_workloads() -> None:
             raise RegistryError(
                 f"workload 'ten_file' uses the fixed {DEFAULT_CODE} code, got {scenario.code}"
             )
-        return ten_file_model(
+        model = ten_file_model(
             cache_capacity=scenario.cache_capacity,
+            arrival_rates=arrival_rates,
+            placement_mode=placement_mode,
             seed=scenario.seed,
             rate_scale=scenario.rate_scale,
-            **dict(scenario.workload_params),
         )
+        return StationaryWorkload(model, name="ten_file")
 
     WORKLOADS.register(
         "paper_default",
@@ -540,6 +676,42 @@ def _register_builtin_workloads() -> None:
             "ten_file",
             "the 10-file model of Figs. 5-6 (random or split placement)",
             build_ten_file,
+        ),
+    )
+    WORKLOADS.register(
+        "diurnal",
+        WorkloadSpec(
+            "diurnal",
+            "day/night sinusoidal rate cycle over a Zipf object population",
+            build_diurnal,
+            kind="non-stationary",
+        ),
+    )
+    WORKLOADS.register(
+        "flash_crowd",
+        WorkloadSpec(
+            "flash_crowd",
+            "stationary background plus an exponentially decaying flash crowd",
+            build_flash_crowd,
+            kind="non-stationary",
+        ),
+    )
+    WORKLOADS.register(
+        "drift",
+        WorkloadSpec(
+            "drift",
+            "constant-rate traffic whose Zipf popularity ranking rotates over time",
+            build_drift,
+            kind="non-stationary",
+        ),
+    )
+    WORKLOADS.register(
+        "trace",
+        WorkloadSpec(
+            "trace",
+            "replay an ingested trace file (CSV/JSONL/NPZ) through the pipeline",
+            build_trace,
+            kind="trace",
         ),
     )
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from pathlib import PurePath
 from types import MappingProxyType
 from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple
 
@@ -112,7 +113,13 @@ class Scenario:
             object.__setattr__(self, "code", tuple(int(value) for value in self.code))
         except (TypeError, ValueError):
             raise ScenarioError(f"code must be a pair of integers, got {self.code!r}") from None
-        object.__setattr__(self, "workload_params", MappingProxyType(dict(self.workload_params)))
+        # Path-like values (e.g. a trace file path) become strings so the
+        # scenario stays JSON-serializable and round-trips via from_dict.
+        workload_params = {
+            key: str(value) if isinstance(value, PurePath) else value
+            for key, value in dict(self.workload_params).items()
+        }
+        object.__setattr__(self, "workload_params", MappingProxyType(workload_params))
         object.__setattr__(self, "solver_params", MappingProxyType(dict(self.solver_params)))
         object.__setattr__(self, "policy_params", MappingProxyType(dict(self.policy_params)))
         self._validate()
@@ -152,7 +159,10 @@ class Scenario:
 
     def _validate(self) -> None:
         # Registry lookups raise RegistryError listing the known names.
-        WORKLOADS.get(self.workload)
+        # The workload builder's signature then vets workload_params eagerly,
+        # so an unknown parameter fails at construction time (listing the
+        # accepted names) instead of deep inside a run.
+        WORKLOADS.get(self.workload).validate_params(self.workload_params)
         ENGINES.get(self.engine)
         SOLVERS.get(self.solver)
         KERNEL_BACKENDS.get(self.backend)

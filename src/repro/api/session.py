@@ -20,6 +20,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+import numpy as np
+
 from repro.api.registry import BASELINES, ENGINES, POLICIES, SOLVERS, WORKLOADS
 from repro.api.scenario import Scenario
 from repro.api.serialize import json_dumps, write_json
@@ -166,9 +168,19 @@ class Session:
     # Pipeline stages
     # ------------------------------------------------------------------
 
+    def build_workload(self, scenario: Scenario):
+        """Materialize the scenario's workload object (unified protocol).
+
+        Returns a :class:`~repro.workloads.base.Workload`: ``model()``
+        yields the stationary system description the optimizer and the
+        baselines consume, ``sample(rng, horizon)`` draws the request
+        stream non-stationary workloads replay through the engines.
+        """
+        return WORKLOADS.get(scenario.workload).create(scenario)
+
     def build_model(self, scenario: Scenario) -> StorageSystemModel:
         """Materialize the scenario's workload into a system model."""
-        return WORKLOADS.get(scenario.workload).build(scenario)
+        return self.build_workload(scenario).model()
 
     def _place(self, scenario: Scenario, model: StorageSystemModel):
         if scenario.uses_optimizer:
@@ -193,15 +205,32 @@ class Session:
         return baseline.build(model), None
 
     def _simulate(
-        self, scenario: Scenario, model: StorageSystemModel, placement: CachePlacement
+        self,
+        scenario: Scenario,
+        model: StorageSystemModel,
+        placement: CachePlacement,
+        workload=None,
     ) -> SimulationResult:
         engine = ENGINES.get(scenario.engine)
-        horizon = scenario.effective_horizon
+        horizon = scenario.horizon
+        if horizon is None and workload is not None:
+            horizon = workload.default_horizon()
+        if horizon is None:
+            horizon = scenario.effective_horizon
         config = SimulationConfig(
             horizon=horizon,
             seed=scenario.seed,
             warmup=horizon * scenario.warmup_fraction,
         )
+        if workload is not None and not workload.stationary:
+            # Non-stationary workloads supply the request stream themselves;
+            # the sampling generator is seed-sequence child 4, disjoint from
+            # the engine's four internal streams (children 0-3).
+            rng = np.random.default_rng(
+                np.random.SeedSequence(scenario.seed).spawn(5)[4]
+            )
+            stream = workload.sample(rng, horizon=horizon)
+            return engine.simulate(model, placement, config, requests=stream)
         return engine.simulate(model, placement, config)
 
     # ------------------------------------------------------------------
@@ -219,7 +248,8 @@ class Session:
 
         with use_kernel_backend(scenario.backend):
             stage = time.perf_counter()
-            model = self.build_model(scenario)
+            workload = self.build_workload(scenario)
+            model = workload.model()
             timings["build_model"] = time.perf_counter() - stage
 
             stage = time.perf_counter()
@@ -235,7 +265,7 @@ class Session:
             simulation: Optional[SimulationResult] = None
             if scenario.simulate:
                 stage = time.perf_counter()
-                simulation = self._simulate(scenario, model, placement)
+                simulation = self._simulate(scenario, model, placement, workload)
                 timings["simulate"] = time.perf_counter() - stage
 
         timings["total"] = time.perf_counter() - started

@@ -101,6 +101,19 @@ class ReplayTrace:
             object_ids=object_ids,
         )
 
+    @classmethod
+    def from_request_stream(cls, stream) -> "ReplayTrace":
+        """Wrap a :class:`~repro.workloads.base.RequestStream` for replay.
+
+        The stream's times are seconds (the workloads/ingest convention);
+        replay traces keep milliseconds, matching the device latency model.
+        """
+        return cls(
+            times_ms=np.asarray(stream.times, dtype=np.float64) * 1000.0,
+            object_positions=np.asarray(stream.object_positions, dtype=np.int64),
+            object_ids=list(stream.object_ids),
+        )
+
 
 @dataclass
 class ReplayResult:

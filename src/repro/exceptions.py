@@ -64,6 +64,22 @@ class WorkloadError(SproutError):
     """Raised for invalid workload specifications."""
 
 
+class TraceError(WorkloadError):
+    """Raised for invalid trace schemas, formats or ingestion requests."""
+
+
+class TraceValidationError(TraceError):
+    """Raised when a trace fails schema validation.
+
+    Carries the :class:`~repro.workloads.ingest.validate.ValidationReport`
+    as ``report`` so callers can inspect the per-column violations.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
 class RegistryError(SproutError):
     """Raised for invalid registry operations (unknown or duplicate names)."""
 

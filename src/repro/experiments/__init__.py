@@ -17,6 +17,7 @@ from repro.experiments import (
     fig9_service_cdf,
     fig10_object_sizes,
     fig11_arrival_rates,
+    scenario_run,
     tables,
 )
 
@@ -29,5 +30,6 @@ __all__ = [
     "fig9_service_cdf",
     "fig10_object_sizes",
     "fig11_arrival_rates",
+    "scenario_run",
     "tables",
 ]

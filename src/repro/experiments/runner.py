@@ -20,6 +20,7 @@ longer.  Uniform flags forwarded to every experiment that supports them:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Callable, Dict, Optional, Tuple
@@ -46,20 +47,31 @@ def run_experiment(
     engine: Optional[str] = None,
     backend: Optional[str] = None,
     seed: Optional[int] = None,
+    workload: Optional[str] = None,
+    workload_params: Optional[Dict[str, object]] = None,
     as_json: bool = False,
 ) -> str:
     """Run one registered experiment and return its formatted report.
 
     ``backend`` selects the kernel backend active for the whole run (every
     queueing kernel the experiment reaches computes in that namespace);
-    ``None`` keeps the process default.  With ``as_json=True`` the report
-    is a JSON document carrying the full typed result; otherwise it is the
-    experiment's text rendering under a timing header.
+    ``None`` keeps the process default.  ``workload``/``workload_params``
+    select a registered workload for experiments that take one (the
+    ``scenario`` experiment; dropped otherwise, like ``engine``/``seed``).
+    With ``as_json=True`` the report is a JSON document carrying the full
+    typed result; otherwise it is the experiment's text rendering under a
+    timing header.
     """
     spec = EXPERIMENT_REGISTRY.get(name)
     started = time.time()
     with use_kernel_backend(backend) as active_backend:
-        result = spec.run(scale=scale, engine=engine, seed=seed)
+        result = spec.run(
+            scale=scale,
+            engine=engine,
+            seed=seed,
+            workload=workload,
+            workload_params=workload_params or None,
+        )
     elapsed = time.time() - started
     if as_json:
         return json_dumps(
@@ -79,6 +91,27 @@ def run_experiment(
         )
     header = f"=== {name}: {spec.title} (scale={scale}, {elapsed:.1f}s) ==="
     return f"{header}\n{spec.format(result)}\n"
+
+
+def parse_workload_params(pairs: Optional[list]) -> Dict[str, object]:
+    """Parse repeated ``KEY=VALUE`` flags into a workload-params dict.
+
+    Values are JSON-decoded when possible (``amplitude=0.5`` -> float,
+    ``hot=[1,2]`` -> list) and kept as plain strings otherwise
+    (``path=trace.csv``).
+    """
+    params: Dict[str, object] = {}
+    for pair in pairs or []:
+        key, separator, raw = pair.partition("=")
+        if not separator or not key:
+            raise ValueError(
+                f"--workload-param expects KEY=VALUE, got {pair!r}"
+            )
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
 
 
 def _section_lines(entries) -> list:
@@ -118,7 +151,6 @@ def format_listing() -> str:
         ("kernel backends", KERNEL_BACKENDS),
         ("baselines", BASELINES),
         ("cache policies", POLICIES),
-        ("workloads", WORKLOADS),
     )
     for label, registry in sections:
         lines.append("")
@@ -128,6 +160,16 @@ def format_listing() -> str:
                 (name, spec.description) for name, spec in registry.items()
             )
         )
+    # Workloads additionally show their kind (stationary / non-stationary /
+    # trace), so the zoo is legible at a glance.
+    lines.append("")
+    lines.append("Registered workloads:")
+    lines.extend(
+        _section_lines(
+            (name, f"[{spec.kind}] {spec.description}".rstrip())
+            for name, spec in WORKLOADS.items()
+        )
+    )
     return "\n".join(lines)
 
 
@@ -170,6 +212,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the experiment's root random seed",
     )
     parser.add_argument(
+        "--workload",
+        choices=WORKLOADS.names(),
+        default=None,
+        help="registered workload for experiments that take one "
+        "(the 'scenario' experiment)",
+    )
+    parser.add_argument(
+        "--workload-param",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        dest="workload_params",
+        help="workload builder parameter (repeatable); values are parsed "
+        "as JSON with plain-string fallback, e.g. "
+        "--workload-param path=trace.csv --workload-param amplitude=0.5",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         dest="as_json",
@@ -194,6 +253,10 @@ def main(argv=None) -> int:
         return 0
     if args.experiment is None:
         parser.error("an experiment name (or 'all', or --list) is required")
+    try:
+        workload_params = parse_workload_params(args.workload_params)
+    except ValueError as error:
+        parser.error(str(error))
     names = EXPERIMENT_REGISTRY.names() if args.experiment == "all" else [args.experiment]
     reports = [
         run_experiment(
@@ -202,6 +265,8 @@ def main(argv=None) -> int:
             engine=args.engine,
             backend=args.backend,
             seed=args.seed,
+            workload=args.workload,
+            workload_params=workload_params,
             as_json=args.as_json,
         )
         for name in names

@@ -1,0 +1,60 @@
+"""The ``scenario`` experiment: run one declarative Scenario end-to-end.
+
+This is the CLI face of :func:`repro.api.run_scenario` -- pick any
+registered workload (``--workload``), feed it builder parameters
+(``--workload-param key=value``) and get the full
+optimize -> schedule -> simulate pipeline::
+
+    python -m repro.experiments scenario --workload diurnal \
+        --workload-param amplitude=0.5 --workload-param period=3600
+
+    python -m repro.experiments scenario --workload trace \
+        --workload-param path=trace.csv --workload-param schema=cdn
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.api.experiments import register_experiment
+from repro.api.scenario import Scenario
+from repro.api.session import run_scenario
+
+
+@register_experiment(
+    "scenario",
+    title="One declarative scenario end-to-end",
+    scales={"fast": {"scale": "fast"}, "paper": {"scale": "paper"}},
+    description="run any registered workload through the full pipeline",
+)
+def run(
+    workload: str = "paper_default",
+    workload_params: Optional[Mapping[str, Any]] = None,
+    num_files: int = 100,
+    cache_capacity: int = 50,
+    engine: Optional[str] = None,
+    seed: Optional[int] = None,
+    scale: str = "fast",
+) -> Dict[str, Any]:
+    """Run one scenario and return its JSON-safe result payload."""
+    fields: Dict[str, Any] = {
+        "workload": workload,
+        "num_files": num_files,
+        "cache_capacity": cache_capacity,
+        "scale": scale,
+    }
+    if workload_params:
+        fields["workload_params"] = dict(workload_params)
+    if engine is not None:
+        fields["engine"] = engine
+    if seed is not None:
+        fields["seed"] = seed
+    result = run_scenario(Scenario(**fields))
+    payload = result.to_dict()
+    payload["summary"] = result.summary()
+    return payload
+
+
+def format_result(payload: Mapping[str, Any]) -> str:
+    """Render the scenario run as its multi-line summary."""
+    return str(payload["summary"])

@@ -51,7 +51,7 @@ the event engine returns, so experiments can switch engines freely.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -79,12 +79,16 @@ def run_batch_simulation(
     node_rng: np.random.Generator,
     scheduler_rng: np.random.Generator,
     cache_rng: np.random.Generator,
+    requests: Optional[Tuple[np.ndarray, np.ndarray, Tuple[str, ...]]] = None,
 ) -> "SimulationResult":
     """Run one fully vectorised simulation and return collected metrics.
 
     Parameters mirror :meth:`StorageSimulator.run`; the four generators are
     independent streams spawned from the run's root ``SeedSequence`` so the
-    engine is reproducible under a seed.
+    engine is reproducible under a seed.  ``requests`` optionally supplies
+    the arrival arrays ``(times, file_positions, file_ids)`` directly
+    (non-stationary workloads, ingested traces), bypassing the homogeneous
+    Poisson sampling; every id must name a file of ``model``.
     """
     from repro.simulation.simulator import SimulationResult
 
@@ -100,10 +104,23 @@ def run_batch_simulation(
         node_id: position for position, node_id in enumerate(node_ids)
     }
 
-    arrival_rates = {spec.file_id: spec.arrival_rate for spec in model.files}
-    times, file_positions, file_ids = generate_request_arrays(
-        arrival_rates, config.horizon, arrival_rng
-    )
+    if requests is not None:
+        times, file_positions, file_ids = requests
+        times = np.asarray(times, dtype=np.float64)
+        file_positions = np.asarray(file_positions, dtype=np.int64)
+        file_ids = tuple(file_ids)
+        known = {spec.file_id for spec in model.files}
+        unknown = [file_id for file_id in file_ids if file_id not in known]
+        if unknown:
+            raise SimulationError(
+                f"request stream references files absent from the model: "
+                f"{unknown[:5]}{'...' if len(unknown) > 5 else ''}"
+            )
+    else:
+        arrival_rates = {spec.file_id: spec.arrival_rate for spec in model.files}
+        times, file_positions, file_ids = generate_request_arrays(
+            arrival_rates, config.horizon, arrival_rng
+        )
     num_requests = times.size
     num_files = len(file_ids)
 

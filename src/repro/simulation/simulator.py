@@ -37,6 +37,41 @@ from repro.simulation.node import CacheDevice, StorageNodeQueue
 ENGINES = ("event", "batch")
 
 
+def _request_arrays(requests, horizon: float):
+    """Normalize a request stream into ``(times, positions, object_ids)``.
+
+    Accepts a :class:`~repro.workloads.base.RequestStream` (duck-typed, to
+    keep this module import-independent from the workloads package) or a
+    ``(times, positions, object_ids)`` triple.  Arrivals at or past the
+    horizon are dropped, matching the ``[0, horizon)`` support of the
+    engines' own Poisson sampling.
+    """
+    if hasattr(requests, "object_positions"):
+        times = np.asarray(requests.times, dtype=np.float64)
+        positions = np.asarray(requests.object_positions, dtype=np.int64)
+        object_ids = tuple(requests.object_ids)
+    else:
+        try:
+            times, positions, object_ids = requests
+        except (TypeError, ValueError):
+            raise SimulationError(
+                "requests must be a RequestStream or a "
+                "(times, positions, object_ids) triple"
+            ) from None
+        times = np.asarray(times, dtype=np.float64)
+        positions = np.asarray(positions, dtype=np.int64)
+        object_ids = tuple(object_ids)
+    if times.shape != positions.shape:
+        raise SimulationError(
+            f"times and positions disagree: {times.shape} vs {positions.shape}"
+        )
+    keep = times < horizon
+    if not np.all(keep):
+        times = times[keep]
+        positions = positions[keep]
+    return times, positions, object_ids
+
+
 @dataclass
 class SimulationConfig:
     """Configuration of one simulation run."""
@@ -149,9 +184,19 @@ class StorageSimulator:
     # Main loop
     # ------------------------------------------------------------------
 
-    def run(self, config: SimulationConfig) -> SimulationResult:
-        """Run the simulation with the configured engine."""
+    def run(self, config: SimulationConfig, requests=None) -> SimulationResult:
+        """Run the simulation with the configured engine.
+
+        ``requests`` optionally supplies the request stream as precomputed
+        arrays -- a :class:`~repro.workloads.base.RequestStream` or a
+        ``(times, object_positions, object_ids)`` triple -- replacing the
+        engine's own homogeneous-Poisson arrival sampling.  This is how
+        non-stationary workloads (diurnal, flash crowd, drift) and ingested
+        traces are replayed; arrivals at or past the horizon are dropped.
+        """
         arrival_seq, node_seq, scheduler_seq, cache_seq = config.spawn_streams()
+        if requests is not None:
+            requests = _request_arrays(requests, config.horizon)
         if self._engine == "batch":
             from repro.simulation.batch import run_batch_simulation
 
@@ -163,6 +208,7 @@ class StorageSimulator:
                 node_rng=np.random.default_rng(node_seq),
                 scheduler_rng=np.random.default_rng(scheduler_seq.spawn(1)[0]),
                 cache_rng=np.random.default_rng(cache_seq),
+                requests=requests,
             )
         return self._run_event(
             config,
@@ -170,6 +216,7 @@ class StorageSimulator:
             node_rng=np.random.default_rng(node_seq),
             scheduler_seq=scheduler_seq,
             cache_rng=np.random.default_rng(cache_seq),
+            requests=requests,
         )
 
     def _run_event(
@@ -179,6 +226,7 @@ class StorageSimulator:
         node_rng: np.random.Generator,
         scheduler_seq: np.random.SeedSequence,
         cache_rng: np.random.Generator,
+        requests=None,
     ) -> SimulationResult:
         """The per-arrival discrete-event loop."""
         scheduler = self._build_scheduler(scheduler_seq)
@@ -194,10 +242,17 @@ class StorageSimulator:
         }
         cache = CacheDevice(service=config.cache_service, rng=cache_rng)
 
-        arrival_rates = {
-            spec.file_id: spec.arrival_rate for spec in self._model.files
-        }
-        stream = generate_request_stream(arrival_rates, config.horizon, rng)
+        if requests is not None:
+            times, positions, object_ids = requests
+            stream = (
+                (float(time), object_ids[int(position)])
+                for time, position in zip(times, positions)
+            )
+        else:
+            arrival_rates = {
+                spec.file_id: spec.arrival_rate for spec in self._model.files
+            }
+            stream = generate_request_stream(arrival_rates, config.horizon, rng)
 
         slot_counter: Optional[SlotCounter] = None
         if config.slot_length is not None:

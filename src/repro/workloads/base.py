@@ -1,0 +1,278 @@
+"""The typed workload protocol: every workload yields request streams.
+
+Historically a "workload" was a free function returning a
+:class:`~repro.core.model.StorageSystemModel` -- a *stationary* description
+(per-file Poisson rates) from which the engines drew their own arrivals.
+Real traces and non-stationary synthetics (diurnal cycles, flash crowds,
+popularity drift) don't fit that shape: the request *stream* itself is the
+workload.  This module defines the common protocol both kinds share:
+
+* :class:`RequestStream` -- the canonical columnar request stream: sorted
+  arrival times (seconds), per-request object positions, the object-id
+  table, optional per-object sizes.  Both the batch engine
+  (:func:`repro.simulation.batch.run_batch_simulation`) and the cluster
+  replay engine (:meth:`repro.cluster.replay.ReplayTrace.from_request_stream`)
+  consume these arrays directly.
+
+* :class:`Workload` -- the abstract protocol: ``model()`` materializes the
+  stationary system description (services, files, time-averaged rates) and
+  ``sample(rng, horizon)`` draws one seeded :class:`RequestStream`.
+  ``stationary`` tells the session whether the engines may redraw arrivals
+  from the model's rates (bit-compatible with the pre-protocol behaviour)
+  or must replay the sampled stream.
+
+* :class:`StationaryWorkload` -- wraps a plain model into the protocol;
+  :func:`as_workload` coerces legacy model-returning builders.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.model import StorageSystemModel
+from repro.exceptions import WorkloadError
+from repro.simulation.arrivals import generate_request_arrays
+
+
+@dataclass(frozen=True)
+class RequestStream:
+    """A canonical columnar request stream.
+
+    Attributes
+    ----------
+    times:
+        Arrival times in seconds, float64, sorted ascending, starting at or
+        after 0.  (The cluster replay engine works in milliseconds; use
+        :meth:`to_replay_trace` for the converted view.)
+    object_positions:
+        Per-request index into :attr:`object_ids`, int64.
+    object_ids:
+        The object-id table, one entry per distinct object, in first
+        appearance order for ingested traces.
+    sizes_bytes:
+        Optional per-*object* sizes (aligned with :attr:`object_ids`), the
+        largest observed request size per object.  ``None`` when the source
+        carries no size column.
+    horizon:
+        The stream's natural duration in seconds (>= ``times[-1]``); used
+        as the default simulation horizon for trace-backed scenarios.
+    """
+
+    times: np.ndarray
+    object_positions: np.ndarray
+    object_ids: Tuple[str, ...]
+    sizes_bytes: Optional[np.ndarray] = None
+    horizon: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        times = np.ascontiguousarray(self.times, dtype=np.float64)
+        positions = np.ascontiguousarray(self.object_positions, dtype=np.int64)
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "object_positions", positions)
+        object.__setattr__(self, "object_ids", tuple(self.object_ids))
+        if times.ndim != 1 or positions.ndim != 1:
+            raise WorkloadError("request-stream columns must be 1-D arrays")
+        if times.size != positions.size:
+            raise WorkloadError(
+                f"times and object_positions disagree: "
+                f"{times.size} vs {positions.size} entries"
+            )
+        if times.size and np.any(np.diff(times) < 0):
+            raise WorkloadError("request times must be sorted ascending")
+        if times.size and times[0] < 0:
+            raise WorkloadError("request times must be non-negative")
+        if positions.size and (
+            positions.min() < 0 or positions.max() >= len(self.object_ids)
+        ):
+            raise WorkloadError(
+                f"object positions must index the {len(self.object_ids)}-entry "
+                f"object-id table"
+            )
+        if self.sizes_bytes is not None:
+            sizes = np.ascontiguousarray(self.sizes_bytes, dtype=np.int64)
+            object.__setattr__(self, "sizes_bytes", sizes)
+            if sizes.shape != (len(self.object_ids),):
+                raise WorkloadError(
+                    f"sizes_bytes must align with the object-id table "
+                    f"({len(self.object_ids)} entries), got shape {sizes.shape}"
+                )
+        if self.horizon is not None:
+            horizon = float(self.horizon)
+            object.__setattr__(self, "horizon", horizon)
+            if times.size and horizon < float(times[-1]):
+                raise WorkloadError(
+                    f"horizon {horizon} is shorter than the last arrival "
+                    f"at {float(times[-1])}"
+                )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_requests(self) -> int:
+        """Number of requests in the stream."""
+        return int(self.times.size)
+
+    @property
+    def num_objects(self) -> int:
+        """Number of distinct objects in the stream."""
+        return len(self.object_ids)
+
+    @property
+    def duration(self) -> float:
+        """The stream's duration: explicit horizon or the last arrival time."""
+        if self.horizon is not None:
+            return self.horizon
+        return float(self.times[-1]) if self.times.size else 0.0
+
+    def arrival_rates(self) -> Dict[str, float]:
+        """Empirical per-object arrival rates (requests/second).
+
+        Counts over :attr:`duration`; objects that never appear get rate 0.
+        """
+        duration = self.duration
+        counts = np.bincount(self.object_positions, minlength=self.num_objects)
+        if duration <= 0:
+            return {object_id: 0.0 for object_id in self.object_ids}
+        return {
+            object_id: float(count) / duration
+            for object_id, count in zip(self.object_ids, counts)
+        }
+
+    # ------------------------------------------------------------------
+    # Views and transforms
+    # ------------------------------------------------------------------
+
+    def truncated(self, horizon: float) -> "RequestStream":
+        """The stream restricted to arrivals in ``[0, horizon)``."""
+        if horizon <= 0:
+            raise WorkloadError("horizon must be positive")
+        cut = int(np.searchsorted(self.times, horizon, side="left"))
+        return RequestStream(
+            times=self.times[:cut],
+            object_positions=self.object_positions[:cut],
+            object_ids=self.object_ids,
+            sizes_bytes=self.sizes_bytes,
+            horizon=min(horizon, self.horizon) if self.horizon is not None else horizon,
+        )
+
+    def to_replay_trace(self):
+        """The stream as a :class:`repro.cluster.replay.ReplayTrace` (ms)."""
+        from repro.cluster.replay import ReplayTrace
+
+        return ReplayTrace(
+            times_ms=self.times * 1000.0,
+            object_positions=self.object_positions.copy(),
+            object_ids=list(self.object_ids),
+        )
+
+
+class Workload(ABC):
+    """The typed workload protocol behind ``Scenario(workload=...)``.
+
+    A workload owns both the stationary system description
+    (:meth:`model`) and the request-stream generator (:meth:`sample`).
+    Stationary workloads (``stationary = True``) let the simulation
+    engines draw their own arrivals from the model's Poisson rates --
+    bit-compatible with the pre-protocol pipeline; non-stationary ones
+    (traces, diurnal cycles, flash crowds, drift) are replayed from a
+    sampled :class:`RequestStream` instead.
+    """
+
+    #: Registry name of the workload (set by builders; informational).
+    name: str = ""
+
+    #: Whether the engines may redraw arrivals from the model's rates.
+    stationary: bool = True
+
+    @abstractmethod
+    def model(self) -> StorageSystemModel:
+        """The stationary system description (services, files, rates)."""
+
+    @abstractmethod
+    def sample(
+        self, rng: np.random.Generator, horizon: Optional[float] = None
+    ) -> RequestStream:
+        """Draw one request stream over ``[0, horizon)``.
+
+        Deterministic given the generator state: the same seeded ``rng``
+        and horizon always produce the identical stream.
+        """
+
+    def default_horizon(self) -> Optional[float]:
+        """The workload's natural horizon (seconds), if it has one.
+
+        Trace-backed workloads return the trace span; synthetic ones
+        return ``None`` and defer to the scenario's scale default.
+        """
+        return None
+
+
+@dataclass(frozen=True)
+class StationaryWorkload(Workload):
+    """A plain stationary model wrapped into the :class:`Workload` protocol.
+
+    ``sample`` draws the merged Poisson stream with
+    :func:`~repro.simulation.arrivals.generate_request_arrays` -- the same
+    generator the batch engine uses internally.
+    """
+
+    system_model: StorageSystemModel
+    name: str = ""
+    stationary: bool = field(default=True, init=False)
+
+    def model(self) -> StorageSystemModel:
+        return self.system_model
+
+    def sample(
+        self, rng: np.random.Generator, horizon: Optional[float] = None
+    ) -> RequestStream:
+        if horizon is None:
+            raise WorkloadError(
+                "a stationary workload has no natural horizon; pass one to sample()"
+            )
+        rates = {
+            spec.file_id: spec.arrival_rate for spec in self.system_model.files
+        }
+        times, positions, object_ids = generate_request_arrays(rates, horizon, rng)
+        return RequestStream(
+            times=times,
+            object_positions=positions,
+            object_ids=tuple(object_ids),
+            horizon=float(horizon),
+        )
+
+
+def as_workload(built: object, name: str = "") -> Workload:
+    """Coerce a builder result into the :class:`Workload` protocol.
+
+    Legacy builders return a bare :class:`StorageSystemModel`; those are
+    wrapped as a :class:`StationaryWorkload`.  Protocol-native results pass
+    through (gaining ``name`` when they don't carry one).
+    """
+    if isinstance(built, Workload):
+        if name and not built.name:
+            # Settable even on frozen dataclass subclasses.
+            object.__setattr__(built, "name", name)
+        return built
+    if isinstance(built, StorageSystemModel):
+        return StationaryWorkload(system_model=built, name=name)
+    raise WorkloadError(
+        f"workload builders must return a Workload or StorageSystemModel, "
+        f"got {type(built).__name__}"
+    )
+
+
+def zipf_weights(num_objects: int, alpha: float) -> np.ndarray:
+    """Normalized Zipf(``alpha``) popularity weights over ranks 1..N."""
+    if num_objects < 1:
+        raise WorkloadError("num_objects must be positive")
+    if alpha < 0:
+        raise WorkloadError("alpha must be non-negative")
+    weights = 1.0 / np.arange(1, num_objects + 1, dtype=np.float64) ** alpha
+    return weights / weights.sum()

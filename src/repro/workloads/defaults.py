@@ -1,174 +1,40 @@
-"""Default workloads reproducing the paper's simulation setup (Section V-A).
+"""Deprecated facade over :mod:`repro.workloads.catalog` (Section V-A setup).
 
-The numerical study uses a cluster of 12 heterogeneous storage servers
-holding 1000 files of 100 MB each with a (7,4) Reed-Solomon code; per-file
-arrival rates cycle through a five-value pattern and the server service
-rates are taken from measurements in the authors' prior work.  This module
-constructs :class:`~repro.core.model.StorageSystemModel` instances matching
-that setup (and a 10-file variant used by the smaller experiments).
+The model builders moved to :mod:`repro.workloads.catalog` when every
+workload was unified behind the :class:`~repro.workloads.base.Workload`
+protocol; direct calls through this module keep working but emit a
+:class:`DeprecationWarning`.  Prefer ``Scenario(workload="paper_default")``
+/ ``Scenario(workload="ten_file")`` or the catalog module.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from repro.api.deprecation import deprecated
+from repro.workloads.catalog import (  # noqa: F401  (constant re-exports)
+    DEFAULT_ARRIVAL_RATE_PATTERN,
+    DEFAULT_CHUNK_SIZE_MB,
+    DEFAULT_CODE,
+    DEFAULT_SERVICE_RATES,
+)
+from repro.workloads.catalog import paper_default_model as _paper_default_model
+from repro.workloads.catalog import ten_file_model as _ten_file_model
 
-import numpy as np
+paper_default_model = deprecated(
+    "repro.workloads.catalog.paper_default_model or "
+    "Scenario(workload='paper_default')",
+    name="repro.workloads.defaults.paper_default_model",
+)(_paper_default_model)
 
-from repro.core.model import FileSpec, StorageSystemModel
-from repro.exceptions import ModelError
-from repro.queueing.distributions import ExponentialService
+ten_file_model = deprecated(
+    "repro.workloads.catalog.ten_file_model or Scenario(workload='ten_file')",
+    name="repro.workloads.defaults.ten_file_model",
+)(_ten_file_model)
 
-#: Per-file arrival rates (requests/second) repeated for every group of five
-#: files, as listed in Section V-A.  The aggregate over 1000 files is
-#: roughly 0.1416 requests/second.
-DEFAULT_ARRIVAL_RATE_PATTERN: List[float] = [
-    0.000156,
-    0.000156,
-    0.000125,
-    0.000167,
-    0.000104,
+__all__ = [
+    "DEFAULT_ARRIVAL_RATE_PATTERN",
+    "DEFAULT_CHUNK_SIZE_MB",
+    "DEFAULT_CODE",
+    "DEFAULT_SERVICE_RATES",
+    "paper_default_model",
+    "ten_file_model",
 ]
-
-#: Inverse mean service times (1/seconds) of the storage servers, from the
-#: measurements quoted in Section V-A.  The paper lists eleven values for
-#: twelve servers; the reproduction assigns the first value (0.1) to the
-#: twelfth server and records that choice in DESIGN.md.
-DEFAULT_SERVICE_RATES: List[float] = [
-    0.1,
-    0.1,
-    0.1,
-    0.0909,
-    0.0909,
-    0.0667,
-    0.0667,
-    0.0769,
-    0.0769,
-    0.0588,
-    0.0588,
-    0.1,
-]
-
-#: Default erasure code of the simulation study.
-DEFAULT_CODE = (7, 4)
-
-#: Default chunk size (MB): 100 MB files split into k = 4 chunks of 25 MB.
-DEFAULT_CHUNK_SIZE_MB = 25
-
-
-def paper_default_model(
-    num_files: int = 1000,
-    cache_capacity: int = 500,
-    num_nodes: int = 12,
-    n: Optional[int] = None,
-    k: Optional[int] = None,
-    arrival_rate_pattern: Optional[Sequence[float]] = None,
-    service_rates: Optional[Sequence[float]] = None,
-    seed: int = 2016,
-    rate_scale: float = 1.0,
-) -> StorageSystemModel:
-    """Build the default simulation model of Section V-A.
-
-    Parameters
-    ----------
-    num_files:
-        Number of files ``r`` (1000 in the paper).
-    cache_capacity:
-        Cache size in chunks (the paper's default is 500 chunks of 25 MB).
-    num_nodes:
-        Number of storage servers ``m`` (12 in the paper).
-    n, k:
-        Erasure-code parameters; default (7, 4).
-    arrival_rate_pattern:
-        Per-file arrival rates cycled over the files.
-    service_rates:
-        Per-server service rates (1/mean service time).
-    seed:
-        Seed controlling the random chunk placement.
-    rate_scale:
-        Multiplier applied to every arrival rate (used by load sweeps).
-    """
-    if n is None or k is None:
-        n, k = DEFAULT_CODE
-    if arrival_rate_pattern is None:
-        arrival_rate_pattern = DEFAULT_ARRIVAL_RATE_PATTERN
-    if service_rates is None:
-        service_rates = DEFAULT_SERVICE_RATES[:num_nodes]
-    if len(service_rates) != num_nodes:
-        raise ModelError(
-            f"expected {num_nodes} service rates, got {len(service_rates)}"
-        )
-    rng = np.random.default_rng(seed)
-    services = [ExponentialService(rate) for rate in service_rates]
-    files = []
-    for index in range(num_files):
-        placement = rng.choice(num_nodes, size=n, replace=False)
-        rate = arrival_rate_pattern[index % len(arrival_rate_pattern)] * rate_scale
-        files.append(
-            FileSpec(
-                file_id=f"file-{index}",
-                n=n,
-                k=k,
-                placement=[int(node) for node in placement],
-                arrival_rate=float(rate),
-                chunk_size=DEFAULT_CHUNK_SIZE_MB,
-                size_bytes=DEFAULT_CHUNK_SIZE_MB * k * 1024 * 1024,
-            )
-        )
-    return StorageSystemModel(
-        services=services, files=files, cache_capacity=cache_capacity
-    )
-
-
-def ten_file_model(
-    cache_capacity: int = 10,
-    arrival_rates: Optional[Sequence[float]] = None,
-    placement_mode: str = "random",
-    seed: int = 2016,
-    rate_scale: float = 1.0,
-) -> StorageSystemModel:
-    """Build the 10-file model used by the Fig. 5 / Fig. 6 experiments.
-
-    Parameters
-    ----------
-    placement_mode:
-        ``"random"`` -- random (7,4) placement on the 12 servers (Fig. 5), or
-        ``"split"`` -- the Fig. 6 layout where the first three files live on
-        servers 0-6 and the remaining seven on servers 5-11 (so servers 5
-        and 6 host chunks of every file).
-    """
-    n, k = DEFAULT_CODE
-    num_nodes = 12
-    if arrival_rates is None:
-        arrival_rates = [
-            DEFAULT_ARRIVAL_RATE_PATTERN[index % len(DEFAULT_ARRIVAL_RATE_PATTERN)]
-            for index in range(10)
-        ]
-    if len(arrival_rates) != 10:
-        raise ModelError(f"expected 10 arrival rates, got {len(arrival_rates)}")
-    rng = np.random.default_rng(seed)
-    services = [ExponentialService(rate) for rate in DEFAULT_SERVICE_RATES[:num_nodes]]
-    files = []
-    for index in range(10):
-        if placement_mode == "random":
-            placement = [int(x) for x in rng.choice(num_nodes, size=n, replace=False)]
-        elif placement_mode == "split":
-            if index < 3:
-                placement = list(range(0, 7))
-            else:
-                placement = list(range(5, 12))
-        else:
-            raise ModelError(f"unknown placement_mode {placement_mode!r}")
-        files.append(
-            FileSpec(
-                file_id=f"file-{index}",
-                n=n,
-                k=k,
-                placement=placement,
-                arrival_rate=float(arrival_rates[index]) * rate_scale,
-                chunk_size=DEFAULT_CHUNK_SIZE_MB,
-                size_bytes=DEFAULT_CHUNK_SIZE_MB * k * 1024 * 1024,
-            )
-        )
-    return StorageSystemModel(
-        services=services, files=files, cache_capacity=cache_capacity
-    )

@@ -1,0 +1,77 @@
+"""Real-trace ingestion: declarative schemas, validation, columnar loading.
+
+The ingest layer turns public cache/storage traces (CDN access logs,
+key-value cache traces, block-I/O traces) into the canonical
+:class:`~repro.workloads.base.RequestStream` arrays the batch engine and
+the cluster replay engine consume:
+
+    from repro.workloads.ingest import load_trace, validate_trace
+
+    report = validate_trace("trace.csv", schema="cdn")
+    print(report.summary())
+    stream = load_trace("trace.csv", schema="cdn")
+
+or end-to-end through the facade::
+
+    from repro.api import Scenario, run_scenario
+
+    result = run_scenario(
+        Scenario(workload="trace", workload_params={"path": "trace.csv"})
+    )
+
+See :mod:`repro.workloads.ingest.schema` for the built-in schemas and how
+to register new trace families.
+"""
+
+from repro.workloads.ingest.loader import (
+    FORMATS,
+    ColumnarTrace,
+    factorize_object_ids,
+    load_trace,
+    sniff_format,
+    validate_trace,
+)
+from repro.workloads.ingest.schema import (
+    BLOCK_SCHEMA,
+    CDN_SCHEMA,
+    KV_SCHEMA,
+    TRACE_SCHEMAS,
+    ColumnSpec,
+    TraceSchema,
+    get_trace_schema,
+    list_trace_schemas,
+    register_trace_schema,
+)
+from repro.workloads.ingest.trace_workload import TraceWorkload, build_trace
+from repro.workloads.ingest.validate import (
+    ColumnViolation,
+    ValidationReport,
+    validate_columns,
+)
+
+__all__ = [
+    # schemas
+    "ColumnSpec",
+    "TraceSchema",
+    "CDN_SCHEMA",
+    "KV_SCHEMA",
+    "BLOCK_SCHEMA",
+    "TRACE_SCHEMAS",
+    "register_trace_schema",
+    "get_trace_schema",
+    "list_trace_schemas",
+    # validation
+    "ColumnViolation",
+    "ValidationReport",
+    "validate_columns",
+    # loading
+    "FORMATS",
+    "ColumnarTrace",
+    "sniff_format",
+    "load_trace",
+    "validate_trace",
+    "factorize_object_ids",
+    # workload
+    "TraceWorkload",
+    "build_trace",
+]

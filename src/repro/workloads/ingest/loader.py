@@ -1,0 +1,518 @@
+"""Lazy columnar trace loading: CSV / JSONL / NPZ into canonical arrays.
+
+:class:`ColumnarTrace` binds a trace file to a
+:class:`~repro.workloads.ingest.schema.TraceSchema` without touching the
+file; the schema-mapped columns are parsed on first access (and only those
+columns), at their canonical dtypes.  :func:`load_trace` is the one-call
+path: parse, validate, filter to read operations, factorize object ids and
+return the :class:`~repro.workloads.base.RequestStream` the simulation and
+replay engines consume.
+
+Performance notes (the ``BENCH_trace_ingest.json`` gate holds the CSV path
+above one million parsed requests per second):
+
+* CSV rows are parsed by ``np.loadtxt`` with a structured dtype -- the
+  C tokenizer, no Python-level row loop.  String columns parse into
+  fixed-width bytes at a guessed width that doubles on suspected
+  truncation.
+* Object-id factorization avoids ``np.unique`` over strings (string sorts
+  dominate ingest time): the fixed-width bytes are viewed as 64-bit words,
+  mixed into one 64-bit hash per row, and the *integer* hashes are
+  uniqued.  A vectorised verification pass compares the reconstructed ids
+  against the originals; on the (astronomically rare) hash collision the
+  loader falls back to exact string factorization.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import TraceError
+from repro.workloads.base import RequestStream
+from repro.workloads.ingest.schema import TraceSchema, get_trace_schema
+from repro.workloads.ingest.validate import (
+    ColumnViolation,
+    ValidationReport,
+    validate_columns,
+)
+
+#: Recognised trace file formats.
+FORMATS = ("csv", "jsonl", "npz")
+
+#: File suffixes mapped to formats (case-insensitive).
+_SUFFIX_FORMATS = {
+    ".csv": "csv",
+    ".txt": "csv",
+    ".tsv": "csv",
+    ".jsonl": "jsonl",
+    ".ndjson": "jsonl",
+    ".npz": "npz",
+}
+
+#: Initial fixed-width guess for string columns; doubled on suspected
+#: truncation (a value filling the full width).
+_INITIAL_STRING_WIDTH = 24
+_MAX_STRING_WIDTH = 4096
+
+#: Odd 64-bit mixing constants for the word-wise object-id hash
+#: (splitmix64 / Murmur finalizer multipliers).
+_HASH_CONSTANTS = np.array(
+    [
+        0x9E3779B97F4A7C15,
+        0xBF58476D1CE4E5B9,
+        0x94D049BB133111EB,
+        0xD6E8FEB86659FD93,
+        0xC2B2AE3D27D4EB4F,
+        0xFF51AFD7ED558CCD,
+        0xC4CEB9FE1A85EC53,
+        0x2545F4914F6CDD1D,
+    ],
+    dtype=np.uint64,
+)
+
+
+def sniff_format(path: Union[str, Path], format: Optional[str] = None) -> str:
+    """Resolve the trace format: explicit name or by file suffix."""
+    if format is not None:
+        if format not in FORMATS:
+            raise TraceError(
+                f"unknown trace format {format!r}; expected one of {FORMATS}"
+            )
+        return format
+    suffix = Path(path).suffix.lower()
+    resolved = _SUFFIX_FORMATS.get(suffix)
+    if resolved is None:
+        raise TraceError(
+            f"cannot infer trace format from suffix {suffix!r} of {path}; "
+            f"pass format= one of {FORMATS}"
+        )
+    return resolved
+
+
+# ----------------------------------------------------------------------
+# Object-id factorization
+# ----------------------------------------------------------------------
+
+
+def _first_appearance_order(
+    first_index: np.ndarray, inverse: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Remap unique labels from sorted order to first-appearance order."""
+    order = np.argsort(first_index, kind="stable")
+    rank = np.empty(order.size, dtype=np.int64)
+    rank[order] = np.arange(order.size, dtype=np.int64)
+    return rank[inverse.astype(np.int64, copy=False)], first_index[order]
+
+
+def _decode_labels(items: np.ndarray) -> Tuple[str, ...]:
+    if items.dtype.kind == "S":
+        return tuple(value.decode("utf-8", errors="replace") for value in items.tolist())
+    return tuple(str(value) for value in items.tolist())
+
+
+def factorize_object_ids(ids: np.ndarray) -> Tuple[np.ndarray, Tuple[str, ...]]:
+    """Map raw object ids to dense positions plus the id table.
+
+    Returns ``(positions, object_ids)`` with positions int64 indexing the
+    table and the table in first-appearance order.  Accepts fixed-width
+    bytes (the CSV fast path, hashed wordwise), unicode and integer
+    arrays.
+    """
+    ids = np.ascontiguousarray(ids)
+    if ids.size == 0:
+        return np.empty(0, dtype=np.int64), ()
+    if ids.dtype.kind in "iu":
+        _, first_index, inverse = np.unique(
+            ids, return_index=True, return_inverse=True
+        )
+        positions, table_index = _first_appearance_order(first_index, inverse)
+        return positions, _decode_labels(ids[table_index])
+    if ids.dtype.kind == "U":
+        # Unicode reaches here only from the slow formats (JSONL/NPZ);
+        # recode to bytes so the word-hash fast path applies.
+        ids = np.char.encode(ids, "utf-8")
+    if ids.dtype.kind != "S":
+        raise TraceError(
+            f"object ids must be strings, bytes or integers, got dtype {ids.dtype}"
+        )
+
+    width = ids.dtype.itemsize
+    words = max(1, (width + 7) // 8)
+    padded = ids if width == words * 8 else ids.astype(f"S{words * 8}")
+    word_matrix = np.ascontiguousarray(padded).view(np.uint64).reshape(-1, words)
+    mixed = np.zeros(ids.size, dtype=np.uint64)
+    for column in range(words):
+        constant = _HASH_CONSTANTS[column % _HASH_CONSTANTS.size]
+        mixed = (mixed ^ (word_matrix[:, column] * constant)) * _HASH_CONSTANTS[0]
+        mixed ^= mixed >> np.uint64(29)
+
+    _, first_index, inverse = np.unique(mixed, return_index=True, return_inverse=True)
+    positions, table_index = _first_appearance_order(first_index, inverse)
+    table = ids[table_index]
+    if not np.array_equal(table[positions], ids):
+        # Two distinct ids collided on the 64-bit hash: exact fallback.
+        _, first_index, inverse = np.unique(
+            ids, return_index=True, return_inverse=True
+        )
+        positions, table_index = _first_appearance_order(first_index, inverse)
+        table = ids[table_index]
+    return positions, _decode_labels(table)
+
+
+# ----------------------------------------------------------------------
+# CSV parsing
+# ----------------------------------------------------------------------
+
+
+def _csv_header(path: Path, delimiter: str) -> List[str]:
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        first = handle.readline()
+    if not first:
+        raise TraceError(f"trace file {path} is empty")
+    return [name.strip() for name in first.rstrip("\r\n").split(delimiter)]
+
+
+def _structured_dtype(
+    schema: TraceSchema, ordered_columns: List[str], string_width: int
+) -> np.dtype:
+    fields = []
+    for name in ordered_columns:
+        spec = schema.column(name)
+        if spec.dtype == "float64":
+            fields.append((name, "f8"))
+        elif spec.dtype == "int64":
+            fields.append((name, "i8"))
+        else:
+            fields.append((name, f"S{string_width}"))
+    return np.dtype(fields)
+
+
+def _parse_csv(
+    path: Path, schema: TraceSchema, delimiter: str
+) -> Dict[str, np.ndarray]:
+    headers = _csv_header(path, delimiter)
+    mapping = schema.resolve_headers(headers)
+    ordered = sorted(mapping, key=mapping.get)
+    usecols = [mapping[name] for name in ordered]
+
+    width = _INITIAL_STRING_WIDTH
+    while True:
+        dtype = _structured_dtype(schema, ordered, width)
+        try:
+            data = np.loadtxt(
+                path,
+                dtype=dtype,
+                delimiter=delimiter,
+                skiprows=1,
+                usecols=usecols,
+                ndmin=1,
+            )
+        except ValueError as error:
+            _raise_csv_parse_report(path, schema, mapping, delimiter, error)
+        truncated = False
+        for name in ordered:
+            spec = schema.column(name)
+            if spec.dtype != "str":
+                continue
+            values = np.ascontiguousarray(data[name])
+            # A value occupying the full fixed width may have been
+            # truncated by the parser; retry wider until none does.
+            if values.size and np.any(
+                values.view("S1").reshape(values.size, width)[:, -1] != b""
+            ):
+                truncated = True
+                break
+        if not truncated:
+            break
+        width *= 2
+        if width > _MAX_STRING_WIDTH:
+            raise TraceError(
+                f"string values in {path} exceed {_MAX_STRING_WIDTH} bytes"
+            )
+
+    columns: Dict[str, np.ndarray] = {}
+    for name in ordered:
+        spec = schema.column(name)
+        values = np.ascontiguousarray(data[name])
+        if spec.dtype == "float64" and spec.unit_scale != 1.0:
+            values = values * spec.unit_scale
+        columns[name] = values
+    return columns
+
+
+def _raise_csv_parse_report(
+    path: Path,
+    schema: TraceSchema,
+    mapping: Dict[str, int],
+    delimiter: str,
+    error: ValueError,
+) -> None:
+    """Slow diagnostic pass after a fast-parse failure.
+
+    Re-reads the file row by row, attributing conversion failures to
+    columns and rows, and raises the resulting report as a
+    :class:`TraceValidationError` (the fast path stays free of per-row
+    work; this only runs on malformed traces).
+    """
+    converters = {"float64": float, "int64": int, "str": str}
+    failures: Dict[str, List[int]] = {}
+    rows = 0
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        next(handle)  # header
+        for row, line in enumerate(handle):
+            line = line.rstrip("\r\n")
+            if not line or line.startswith("#"):
+                continue
+            rows += 1
+            fields = line.split(delimiter)
+            for name, index in mapping.items():
+                spec = schema.column(name)
+                try:
+                    converters[spec.dtype](fields[index].strip())
+                except (ValueError, IndexError):
+                    failures.setdefault(name, []).append(row)
+    report = ValidationReport(schema=schema.name, rows=rows)
+    for name, bad_rows in sorted(failures.items()):
+        spec = schema.column(name)
+        report.violations.append(
+            ColumnViolation(
+                name, "dtype",
+                f"values not parseable as {spec.dtype}",
+                count=len(bad_rows), first_row=bad_rows[0],
+            )
+        )
+    if report.ok:
+        # The row scan found nothing (e.g. ragged rows confusing the fast
+        # tokenizer); surface the parser's own message.
+        report.violations.append(
+            ColumnViolation("<table>", "dtype", f"CSV parse failed: {error}")
+        )
+    report.raise_for_violations()
+
+
+# ----------------------------------------------------------------------
+# JSONL / NPZ parsing
+# ----------------------------------------------------------------------
+
+
+def _parse_jsonl(path: Path, schema: TraceSchema) -> Dict[str, np.ndarray]:
+    raw: Dict[str, List[object]] = {}
+    key_map: Optional[Dict[str, str]] = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for row, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TraceError(f"{path}: invalid JSON at line {row + 1}: {error}") from None
+            if key_map is None:
+                key_map = {}
+                for spec in schema.columns:
+                    for key in record:
+                        if spec.matches(str(key)):
+                            key_map[spec.name] = key
+                            break
+                    else:
+                        if spec.required:
+                            raise TraceError(
+                                f"schema {schema.name!r}: required column "
+                                f"{spec.name!r} not found in JSONL keys "
+                                f"{sorted(record)}"
+                            )
+                raw = {name: [] for name in key_map}
+            for name, key in key_map.items():
+                try:
+                    raw[name].append(record[key])
+                except KeyError:
+                    raise TraceError(
+                        f"{path}: record at line {row + 1} is missing key {key!r}"
+                    ) from None
+    if key_map is None:
+        raise TraceError(f"trace file {path} is empty")
+    return {
+        name: _coerce_column(schema, name, values)
+        for name, values in raw.items()
+    }
+
+
+def _parse_npz(path: Path, schema: TraceSchema) -> Dict[str, np.ndarray]:
+    with np.load(path, allow_pickle=False) as archive:
+        keys = list(archive.files)
+        columns: Dict[str, np.ndarray] = {}
+        for spec in schema.columns:
+            for key in keys:
+                if spec.matches(key):
+                    columns[spec.name] = _coerce_column(schema, spec.name, archive[key])
+                    break
+            else:
+                if spec.required:
+                    raise TraceError(
+                        f"schema {schema.name!r}: required column {spec.name!r} "
+                        f"not found in NPZ arrays {sorted(keys)}"
+                    )
+    return columns
+
+
+def _coerce_column(schema: TraceSchema, name: str, values: object) -> np.ndarray:
+    """Coerce one raw column to its canonical dtype (slow formats only)."""
+    spec = schema.column(name)
+    array = np.asarray(values)
+    try:
+        if spec.dtype == "float64":
+            array = array.astype(np.float64)
+            if spec.unit_scale != 1.0:
+                array = array * spec.unit_scale
+        elif spec.dtype == "int64":
+            array = array.astype(np.int64)
+        elif array.dtype.kind not in "SU":
+            array = array.astype(str)
+    except (TypeError, ValueError):
+        # Leave the raw dtype in place; the validator reports it with the
+        # rest of the violations instead of failing the load outright.
+        pass
+    return array
+
+
+# ----------------------------------------------------------------------
+# The lazy columnar view and the one-call loader
+# ----------------------------------------------------------------------
+
+
+class ColumnarTrace:
+    """A trace file bound to a schema, loaded lazily column-by-column.
+
+    Construction touches neither the file nor the parser; the first
+    column access parses the schema-mapped columns (and only those) at
+    their canonical dtypes and caches them for the trace's lifetime.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        schema: Union[TraceSchema, str] = "cdn",
+        format: Optional[str] = None,
+        delimiter: str = ",",
+    ):
+        self.path = Path(path)
+        self.schema = get_trace_schema(schema)
+        self.format = sniff_format(self.path, format)
+        self.delimiter = delimiter
+        self._columns: Optional[Dict[str, np.ndarray]] = None
+
+    def _load(self) -> Dict[str, np.ndarray]:
+        if self._columns is None:
+            if not self.path.exists():
+                raise TraceError(f"trace file {self.path} does not exist")
+            if self.format == "csv":
+                self._columns = _parse_csv(self.path, self.schema, self.delimiter)
+            elif self.format == "jsonl":
+                self._columns = _parse_jsonl(self.path, self.schema)
+            else:
+                self._columns = _parse_npz(self.path, self.schema)
+        return self._columns
+
+    @property
+    def loaded(self) -> bool:
+        """Whether the columns have been parsed yet."""
+        return self._columns is not None
+
+    @property
+    def columns(self) -> Dict[str, np.ndarray]:
+        """The canonical columns (parsed and cached on first access)."""
+        return dict(self._load())
+
+    def column(self, name: str) -> np.ndarray:
+        """One canonical column by name."""
+        columns = self._load()
+        if name not in columns:
+            raise TraceError(
+                f"trace {self.path} has no column {name!r}; "
+                f"loaded columns: {sorted(columns)}"
+            )
+        return columns[name]
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows in the trace."""
+        columns = self._load()
+        return int(next(iter(columns.values())).shape[0]) if columns else 0
+
+    def validate(self) -> ValidationReport:
+        """Run the validation pass and return the full report."""
+        return validate_columns(self._load(), self.schema)
+
+
+def validate_trace(
+    path: Union[str, Path],
+    schema: Union[TraceSchema, str] = "cdn",
+    format: Optional[str] = None,
+    delimiter: str = ",",
+) -> ValidationReport:
+    """Validate a trace file against a schema and return the report."""
+    return ColumnarTrace(path, schema=schema, format=format, delimiter=delimiter).validate()
+
+
+def load_trace(
+    path: Union[str, Path],
+    schema: Union[TraceSchema, str] = "cdn",
+    format: Optional[str] = None,
+    delimiter: str = ",",
+    validate: bool = True,
+    reads_only: bool = True,
+) -> RequestStream:
+    """Load a trace file into a canonical :class:`RequestStream`.
+
+    Parses the schema-mapped columns, optionally runs the validation pass
+    (raising :class:`~repro.exceptions.TraceValidationError` with the full
+    per-column report on any violation), filters to the schema's read
+    operations, rebases timestamps to start at zero and factorizes object
+    ids into dense positions.
+    """
+    trace = ColumnarTrace(path, schema=schema, format=format, delimiter=delimiter)
+    resolved_schema = trace.schema
+    columns = trace._load()
+    if validate:
+        trace.validate().raise_for_violations()
+
+    times = columns["timestamp"].astype(np.float64, copy=True)
+    ids = columns["object_id"]
+    sizes = columns.get("size")
+    ops = columns.get("op")
+
+    if reads_only and ops is not None and resolved_schema.read_ops:
+        if ops.dtype.kind == "S":
+            read_ops = np.array(
+                [op.encode() for op in resolved_schema.read_ops], dtype=ops.dtype
+            )
+        else:
+            read_ops = np.asarray(resolved_schema.read_ops, dtype=ops.dtype)
+        mask = np.isin(ops, read_ops)
+        times = times[mask]
+        ids = ids[mask]
+        if sizes is not None:
+            sizes = sizes[mask]
+    if times.size == 0:
+        raise TraceError(f"trace {path} contains no read requests")
+
+    horizon = float(times[-1] - times[0])
+    times -= times[0]
+    positions, object_ids = factorize_object_ids(ids)
+
+    sizes_bytes: Optional[np.ndarray] = None
+    if sizes is not None:
+        sizes_bytes = np.zeros(len(object_ids), dtype=np.int64)
+        np.maximum.at(sizes_bytes, positions, sizes.astype(np.int64, copy=False))
+
+    return RequestStream(
+        times=times,
+        object_positions=positions,
+        object_ids=object_ids,
+        sizes_bytes=sizes_bytes,
+        horizon=horizon if horizon > 0 else None,
+    )

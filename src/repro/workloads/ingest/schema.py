@@ -1,0 +1,267 @@
+"""Declarative trace schemas: typed columns for public trace formats.
+
+A :class:`TraceSchema` names the columns a trace family carries --
+``timestamp``, ``object_id``, ``size``, ``op`` -- with their canonical
+dtypes, per-column constraints (non-negative, sorted, categorical) and the
+aliases/units under which public datasets ship them.  Schemas are pure
+descriptions: the validation pass (:mod:`repro.workloads.ingest.validate`)
+checks a loaded column set against its schema and reports *every*
+violation before any simulation runs, and the columnar loader
+(:mod:`repro.workloads.ingest.loader`) uses the schema to parse only the
+declared columns at their canonical types.
+
+Three built-in schemas cover the common public formats:
+
+* ``cdn`` -- CDN access logs: ``timestamp`` (seconds), ``object_id``,
+  ``size`` (bytes), ``op`` in GET/HEAD/PUT/DELETE; reads are GET/HEAD.
+* ``kv`` -- key-value cache traces (Twitter/Memcached style):
+  ``timestamp`` (seconds), ``key``->``object_id``, ``value_size``->``size``,
+  ``op`` in get/gets/set/add/delete; reads are get/gets.
+* ``block`` -- block-I/O traces (MSR Cambridge style): ``timestamp_ms``
+  (milliseconds -> seconds), ``lba``->``object_id``, ``size`` (bytes),
+  ``op`` in R/W (reads are R).
+
+New families register with :func:`register_trace_schema`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import TraceError
+
+#: Canonical column names every schema maps onto.
+CANONICAL_COLUMNS = ("timestamp", "object_id", "size", "op")
+
+#: Canonical dtypes a column may declare.
+COLUMN_DTYPES = ("float64", "int64", "str")
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One typed column of a trace schema.
+
+    Attributes
+    ----------
+    name:
+        Canonical column name (one of :data:`CANONICAL_COLUMNS`).
+    dtype:
+        Canonical dtype: ``"float64"``, ``"int64"`` or ``"str"``.
+    required:
+        Whether a trace without this column fails validation.  Optional
+        columns (``size``, ``op``) are simply absent from the loaded set.
+    aliases:
+        Header names under which datasets ship this column (the canonical
+        name always matches, case-insensitively).
+    unit_scale:
+        Multiplier into canonical units (e.g. ``1e-3`` for millisecond
+        timestamps -> seconds).  Numeric columns only.
+    nonnegative / positive:
+        Value constraints checked by the validator.
+    sorted:
+        Whether values must be non-decreasing (timestamps).
+    allowed:
+        Categorical vocabulary (``op``); empty means unconstrained.
+    """
+
+    name: str
+    dtype: str
+    required: bool = True
+    aliases: Tuple[str, ...] = ()
+    unit_scale: float = 1.0
+    nonnegative: bool = False
+    positive: bool = False
+    sorted: bool = False
+    allowed: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.name not in CANONICAL_COLUMNS:
+            raise TraceError(
+                f"unknown canonical column {self.name!r}; "
+                f"expected one of {CANONICAL_COLUMNS}"
+            )
+        if self.dtype not in COLUMN_DTYPES:
+            raise TraceError(
+                f"column {self.name!r}: unknown dtype {self.dtype!r}; "
+                f"expected one of {COLUMN_DTYPES}"
+            )
+        if self.dtype == "str" and self.unit_scale != 1.0:
+            raise TraceError(
+                f"column {self.name!r}: unit_scale applies to numeric columns"
+            )
+        if self.unit_scale <= 0:
+            raise TraceError(f"column {self.name!r}: unit_scale must be positive")
+
+    def matches(self, header: str) -> bool:
+        """Whether a file header names this column (case-insensitive)."""
+        candidate = header.strip().lower()
+        if candidate == self.name:
+            return True
+        return candidate in {alias.lower() for alias in self.aliases}
+
+
+@dataclass(frozen=True)
+class TraceSchema:
+    """A named trace family: its typed columns and read-op vocabulary.
+
+    Attributes
+    ----------
+    name / description:
+        Registry identity, shown in error messages and listings.
+    columns:
+        The declared :class:`ColumnSpec` entries; must include
+        ``timestamp`` and ``object_id``.
+    read_ops:
+        ``op`` values counted as reads (the requests the simulation
+        replays); empty means every row is a read.
+    """
+
+    name: str
+    description: str
+    columns: Tuple[ColumnSpec, ...]
+    read_ops: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "columns", tuple(self.columns))
+        names = [column.name for column in self.columns]
+        if len(set(names)) != len(names):
+            raise TraceError(f"schema {self.name!r} declares duplicate columns")
+        for required in ("timestamp", "object_id"):
+            if required not in names:
+                raise TraceError(
+                    f"schema {self.name!r} must declare a {required!r} column"
+                )
+        op = self.column("op")
+        if self.read_ops and op is None:
+            raise TraceError(
+                f"schema {self.name!r} declares read_ops without an 'op' column"
+            )
+        if op is not None and op.allowed:
+            unknown = set(self.read_ops) - set(op.allowed)
+            if unknown:
+                raise TraceError(
+                    f"schema {self.name!r}: read_ops {sorted(unknown)} are not "
+                    f"in the op column's allowed values {list(op.allowed)}"
+                )
+
+    def column(self, name: str) -> Optional[ColumnSpec]:
+        """The spec of one canonical column, or ``None`` if undeclared."""
+        for column in self.columns:
+            if column.name == name:
+                return column
+        return None
+
+    def column_names(self) -> List[str]:
+        """The declared canonical column names, in declaration order."""
+        return [column.name for column in self.columns]
+
+    def resolve_headers(self, headers: List[str]) -> Dict[str, int]:
+        """Map canonical column names to file column indices.
+
+        Raises :class:`TraceError` when a required column matches no
+        header; optional columns are simply absent from the mapping.
+        """
+        mapping: Dict[str, int] = {}
+        for column in self.columns:
+            for index, header in enumerate(headers):
+                if column.matches(header):
+                    mapping[column.name] = index
+                    break
+            else:
+                if column.required:
+                    raise TraceError(
+                        f"schema {self.name!r}: required column "
+                        f"{column.name!r} not found in header {headers!r} "
+                        f"(aliases: {list(column.aliases) or '<none>'})"
+                    )
+        return mapping
+
+
+# ----------------------------------------------------------------------
+# Built-in schemas and the schema registry
+# ----------------------------------------------------------------------
+
+CDN_SCHEMA = TraceSchema(
+    name="cdn",
+    description="CDN access logs: timestamp (s), object_id, size (bytes), op",
+    columns=(
+        ColumnSpec("timestamp", "float64", sorted=True, nonnegative=True,
+                   aliases=("time", "ts", "request_time")),
+        ColumnSpec("object_id", "str", aliases=("object", "url", "id", "cache_key")),
+        ColumnSpec("size", "int64", required=False, nonnegative=True,
+                   aliases=("bytes", "object_size", "response_size")),
+        ColumnSpec("op", "str", required=False,
+                   aliases=("method", "operation", "request_type"),
+                   allowed=("GET", "HEAD", "PUT", "POST", "DELETE")),
+    ),
+    read_ops=("GET", "HEAD"),
+)
+
+KV_SCHEMA = TraceSchema(
+    name="kv",
+    description="key-value cache traces: timestamp (s), key, value size, op",
+    columns=(
+        ColumnSpec("timestamp", "float64", sorted=True, nonnegative=True,
+                   aliases=("time", "ts")),
+        ColumnSpec("object_id", "str", aliases=("key", "anon_key", "key_id")),
+        ColumnSpec("size", "int64", required=False, nonnegative=True,
+                   aliases=("value_size", "val_size", "size_bytes")),
+        ColumnSpec("op", "str", required=False,
+                   aliases=("operation", "cmd", "command"),
+                   allowed=("get", "gets", "set", "add", "replace", "delete")),
+    ),
+    read_ops=("get", "gets"),
+)
+
+BLOCK_SCHEMA = TraceSchema(
+    name="block",
+    description="block-I/O traces: timestamp (ms -> s), lba, size (bytes), op",
+    columns=(
+        ColumnSpec("timestamp", "float64", sorted=True, nonnegative=True,
+                   unit_scale=1e-3, aliases=("timestamp_ms", "time_ms", "ts_ms")),
+        ColumnSpec("object_id", "str", aliases=("lba", "offset", "block", "disk_id")),
+        ColumnSpec("size", "int64", required=False, positive=True,
+                   aliases=("bytes", "io_size", "length")),
+        ColumnSpec("op", "str", required=False,
+                   aliases=("operation", "type", "io_type"),
+                   allowed=("R", "W", "Read", "Write")),
+    ),
+    read_ops=("R", "Read"),
+)
+
+#: The registered trace schemas, by name.
+TRACE_SCHEMAS: Dict[str, TraceSchema] = {}
+
+
+def register_trace_schema(schema: TraceSchema, replace: bool = False) -> TraceSchema:
+    """Register a trace schema so loaders can refer to it by name."""
+    if schema.name in TRACE_SCHEMAS and not replace:
+        raise TraceError(
+            f"trace schema {schema.name!r} is already registered; "
+            f"pass replace=True to override"
+        )
+    TRACE_SCHEMAS[schema.name] = schema
+    return schema
+
+
+def get_trace_schema(schema: "TraceSchema | str") -> TraceSchema:
+    """Resolve a schema instance or registered schema name."""
+    if isinstance(schema, TraceSchema):
+        return schema
+    try:
+        return TRACE_SCHEMAS[schema]
+    except KeyError:
+        known = ", ".join(sorted(TRACE_SCHEMAS)) or "<none>"
+        raise TraceError(
+            f"unknown trace schema {schema!r}; registered schemas: {known}"
+        ) from None
+
+
+def list_trace_schemas() -> List[str]:
+    """Names of the registered trace schemas, sorted."""
+    return sorted(TRACE_SCHEMAS)
+
+
+for _schema in (CDN_SCHEMA, KV_SCHEMA, BLOCK_SCHEMA):
+    register_trace_schema(_schema)

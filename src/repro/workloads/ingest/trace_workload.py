@@ -1,0 +1,131 @@
+"""The ``trace`` registered workload: scenarios backed by ingested traces.
+
+``Scenario(workload="trace", workload_params={"path": ...})`` loads a trace
+file through the columnar loader, derives a stationary system description
+from the empirical per-object rates (for Algorithm 1 and the baselines) and
+replays the ingested request stream through the engines -- the trace *is*
+the arrival process, so ``sample`` returns the same stream every time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.model import FileSpec, StorageSystemModel
+from repro.exceptions import TraceError
+from repro.queueing.distributions import ExponentialService
+from repro.workloads.base import RequestStream, Workload
+from repro.workloads.catalog import (
+    DEFAULT_CHUNK_SIZE_MB,
+    DEFAULT_SERVICE_RATES,
+)
+from repro.workloads.ingest.loader import load_trace
+
+
+@dataclass(frozen=True)
+class TraceWorkload(Workload):
+    """An ingested trace wrapped in the :class:`Workload` protocol.
+
+    ``model()`` exposes the empirical per-object arrival rates (scaled by
+    ``rate_scale``) with a seeded random chunk placement on the standard
+    12-server cluster, so the optimizer and baselines see the same kind of
+    stationary description synthetic workloads produce; ``sample()``
+    replays the trace itself.
+    """
+
+    stream: RequestStream
+    cache_capacity: int = 50
+    code: Tuple[int, int] = (7, 4)
+    seed: int = 2016
+    rate_scale: float = 1.0
+    source: str = ""
+    name: str = "trace"
+    stationary: bool = field(default=False, init=False)
+
+    def model(self) -> StorageSystemModel:
+        n, k = self.code
+        num_nodes = len(DEFAULT_SERVICE_RATES)
+        if n > num_nodes:
+            raise TraceError(
+                f"code length n={n} exceeds the {num_nodes}-server cluster"
+            )
+        rng = np.random.default_rng(self.seed)
+        services = [ExponentialService(rate) for rate in DEFAULT_SERVICE_RATES]
+        rates = self.stream.arrival_rates()
+        sizes = self.stream.sizes_bytes
+        files = []
+        for position, object_id in enumerate(self.stream.object_ids):
+            placement = [int(x) for x in rng.choice(num_nodes, size=n, replace=False)]
+            if sizes is not None and sizes[position] > 0:
+                size_bytes = int(sizes[position])
+                chunk_size = max(1, math.ceil(size_bytes / (k * 1024 * 1024)))
+            else:
+                chunk_size = DEFAULT_CHUNK_SIZE_MB
+                size_bytes = chunk_size * k * 1024 * 1024
+            files.append(
+                FileSpec(
+                    file_id=object_id,
+                    n=n,
+                    k=k,
+                    placement=placement,
+                    arrival_rate=rates[object_id] * self.rate_scale,
+                    chunk_size=chunk_size,
+                    size_bytes=size_bytes,
+                )
+            )
+        return StorageSystemModel(
+            services=services, files=files, cache_capacity=self.cache_capacity
+        )
+
+    def sample(
+        self, rng: np.random.Generator, horizon: Optional[float] = None
+    ) -> RequestStream:
+        """The ingested stream itself (clipped when ``horizon`` is shorter).
+
+        The generator is unused: a trace is a recorded sample path, so
+        replaying it is deterministic by construction.
+        """
+        if horizon is not None and horizon < self.stream.duration:
+            return self.stream.truncated(horizon)
+        return self.stream
+
+    def default_horizon(self) -> Optional[float]:
+        duration = self.stream.duration
+        return duration if duration > 0 else None
+
+
+def build_trace(
+    scenario,
+    *,
+    path: Optional[str] = None,
+    schema: str = "cdn",
+    format: Optional[str] = None,
+    delimiter: str = ",",
+    validate: bool = True,
+) -> TraceWorkload:
+    """Replay an ingested trace file (CSV/JSONL/NPZ) through the pipeline.
+
+    ``path`` is required; ``schema`` names a registered trace schema
+    (``repro.workloads.ingest.list_trace_schemas()``).  The scenario's
+    ``num_files`` is ignored -- the trace defines its own object
+    population.
+    """
+    if path is None:
+        raise TraceError(
+            "workload 'trace' requires workload_params={'path': <trace file>}"
+        )
+    stream = load_trace(
+        path, schema=schema, format=format, delimiter=delimiter, validate=validate
+    )
+    return TraceWorkload(
+        stream=stream,
+        cache_capacity=scenario.cache_capacity,
+        code=scenario.code,
+        seed=scenario.seed,
+        rate_scale=scenario.rate_scale,
+        source=str(path),
+    )

@@ -1,0 +1,223 @@
+"""The trace validation pass: per-column violation reporting.
+
+:func:`validate_columns` checks a loaded column set against its
+:class:`~repro.workloads.ingest.schema.TraceSchema` and returns a
+:class:`ValidationReport` carrying *every* violation -- missing required
+columns, uncastable dtypes, negative sizes, unsorted timestamps, unknown
+op values -- each with the offending row of its first occurrence and the
+total count.  Nothing raises until the caller asks
+(:meth:`ValidationReport.raise_for_violations`), so a single pass surfaces
+the complete picture of a malformed trace before any simulation runs.
+
+All checks are vectorised (a handful of numpy reductions per column), so
+validation costs a few percent of parse time even on multi-million-row
+traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import TraceValidationError
+from repro.workloads.ingest.schema import ColumnSpec, TraceSchema
+
+
+@dataclass(frozen=True)
+class ColumnViolation:
+    """One constraint violation of one column.
+
+    Attributes
+    ----------
+    column:
+        Canonical column name (or ``"<table>"`` for table-level issues).
+    check:
+        Machine-readable check identifier (``"missing"``, ``"dtype"``,
+        ``"negative"``, ``"nonpositive"``, ``"unsorted"``, ``"unknown_op"``,
+        ``"nan"``, ``"length"``).
+    count:
+        Number of offending rows (0 for structural issues).
+    first_row:
+        Row index of the first offending value (``None`` for structural
+        issues).
+    message:
+        Human-readable description.
+    """
+
+    column: str
+    check: str
+    message: str
+    count: int = 0
+    first_row: Optional[int] = None
+
+    def __str__(self) -> str:
+        location = "" if self.first_row is None else f" (first at row {self.first_row})"
+        rows = "" if self.count == 0 else f" [{self.count} rows]"
+        return f"{self.column}: {self.message}{rows}{location}"
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one validation pass over a loaded trace."""
+
+    schema: str
+    rows: int
+    violations: List[ColumnViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the trace passed every check."""
+        return not self.violations
+
+    def for_column(self, column: str) -> List[ColumnViolation]:
+        """The violations of one column."""
+        return [v for v in self.violations if v.column == column]
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        header = (
+            f"trace validation against schema {self.schema!r}: "
+            f"{self.rows} rows, "
+            f"{'OK' if self.ok else f'{len(self.violations)} violation(s)'}"
+        )
+        lines = [header]
+        lines.extend(f"  - {violation}" for violation in self.violations)
+        return "\n".join(lines)
+
+    def raise_for_violations(self) -> None:
+        """Raise :class:`TraceValidationError` unless the trace is clean."""
+        if not self.ok:
+            raise TraceValidationError(self.summary(), report=self)
+
+
+def _first_true(mask: np.ndarray) -> int:
+    return int(np.flatnonzero(mask)[0])
+
+
+def _check_numeric(
+    spec: ColumnSpec, values: np.ndarray, report: ValidationReport
+) -> None:
+    if values.dtype.kind == "f":
+        nan_mask = np.isnan(values)
+        if nan_mask.any():
+            report.violations.append(
+                ColumnViolation(
+                    spec.name, "nan", "NaN values",
+                    count=int(nan_mask.sum()), first_row=_first_true(nan_mask),
+                )
+            )
+            # Exclude NaNs from the ordering/sign checks below.
+            values = np.where(nan_mask, 0.0, values)
+    if spec.positive:
+        bad = values <= 0
+        if bad.any():
+            report.violations.append(
+                ColumnViolation(
+                    spec.name, "nonpositive", "values must be > 0",
+                    count=int(bad.sum()), first_row=_first_true(bad),
+                )
+            )
+    elif spec.nonnegative:
+        bad = values < 0
+        if bad.any():
+            report.violations.append(
+                ColumnViolation(
+                    spec.name, "negative", "values must be >= 0",
+                    count=int(bad.sum()), first_row=_first_true(bad),
+                )
+            )
+    if spec.sorted and values.size > 1:
+        drops = np.diff(values) < 0
+        if drops.any():
+            report.violations.append(
+                ColumnViolation(
+                    spec.name, "unsorted", "values must be non-decreasing",
+                    count=int(drops.sum()), first_row=_first_true(drops) + 1,
+                )
+            )
+
+
+def _check_categorical(
+    spec: ColumnSpec, values: np.ndarray, report: ValidationReport
+) -> None:
+    if not spec.allowed:
+        return
+    if values.dtype.kind == "S":
+        allowed = np.array([op.encode() for op in spec.allowed], dtype=values.dtype)
+    else:
+        allowed = np.asarray(spec.allowed, dtype=values.dtype)
+    bad = ~np.isin(values, allowed)
+    if bad.any():
+        first = _first_true(bad)
+        sample = values[first]
+        if isinstance(sample, bytes):
+            sample = sample.decode(errors="replace")
+        report.violations.append(
+            ColumnViolation(
+                spec.name, "unknown_op",
+                f"value {sample!r} not in allowed set {list(spec.allowed)}",
+                count=int(bad.sum()), first_row=first,
+            )
+        )
+
+
+#: numpy dtype kinds acceptable for each canonical dtype.
+_KIND_FOR_DTYPE = {"float64": "fiu", "int64": "iu", "str": "SU"}
+
+
+def validate_columns(
+    columns: Dict[str, np.ndarray],
+    schema: TraceSchema,
+) -> ValidationReport:
+    """Validate a loaded column set against ``schema``.
+
+    ``columns`` maps canonical column names to 1-D arrays (the loader's
+    output).  Returns the full :class:`ValidationReport`; never raises on
+    trace content (structural misuse -- e.g. ragged columns -- is still a
+    violation, not an exception).
+    """
+    lengths = {name: values.shape[0] for name, values in columns.items()}
+    rows = max(lengths.values(), default=0)
+    report = ValidationReport(schema=schema.name, rows=rows)
+
+    for name, length in lengths.items():
+        if length != rows:
+            report.violations.append(
+                ColumnViolation(
+                    name, "length",
+                    f"column has {length} rows, expected {rows}",
+                )
+            )
+    if any(violation.check == "length" for violation in report.violations):
+        return report
+
+    for spec in schema.columns:
+        values = columns.get(spec.name)
+        if values is None:
+            if spec.required:
+                report.violations.append(
+                    ColumnViolation(spec.name, "missing", "required column is missing")
+                )
+            continue
+        if values.ndim != 1:
+            report.violations.append(
+                ColumnViolation(
+                    spec.name, "dtype", f"expected a 1-D column, got shape {values.shape}"
+                )
+            )
+            continue
+        if values.dtype.kind not in _KIND_FOR_DTYPE[spec.dtype]:
+            report.violations.append(
+                ColumnViolation(
+                    spec.name, "dtype",
+                    f"expected dtype {spec.dtype}, got {values.dtype}",
+                )
+            )
+            continue
+        if spec.dtype in ("float64", "int64"):
+            _check_numeric(spec, values, report)
+        else:
+            _check_categorical(spec, values, report)
+    return report

@@ -1,113 +1,45 @@
-"""Workload tables reproduced from the paper's evaluation section.
+"""Deprecated facade over :mod:`repro.workloads.catalog` (Table I/III rates).
 
-* ``TABLE_I_ARRIVAL_RATES`` -- the per-file arrival rates of the ten files in
-  the three time bins used for the cache-evolution experiment (Table I /
-  Fig. 5).
-* ``TABLE_III_WORKLOAD`` -- the 24-hour production-trace summary: the most
-  popular object sizes and the average per-object read arrival rate of each
-  size (Table III), which drives the prototype benchmarks (Figs. 10-11).
+The rate-table helpers moved to :mod:`repro.workloads.catalog` when every
+workload was unified behind the :class:`~repro.workloads.base.Workload`
+protocol; direct calls through this module keep working but emit a
+:class:`DeprecationWarning`.  Real trace files are ingested by
+:mod:`repro.workloads.ingest` (``Scenario(workload="trace")``), which is
+unrelated to these paper tables.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from repro.api.deprecation import deprecated
+from repro.workloads.catalog import (  # noqa: F401  (constant re-exports)
+    TABLE_I_ARRIVAL_RATES,
+    TABLE_III_WORKLOAD,
+)
+from repro.workloads.catalog import (
+    aggregate_rate_to_per_object as _aggregate_rate_to_per_object,
+)
+from repro.workloads.catalog import table_i_time_bins as _table_i_time_bins
+from repro.workloads.catalog import table_iii_arrival_rates as _table_iii_arrival_rates
 
-from repro.core.timebins import TimeBin
-from repro.exceptions import WorkloadError
+table_i_time_bins = deprecated(
+    "repro.workloads.catalog.table_i_time_bins",
+    name="repro.workloads.traces.table_i_time_bins",
+)(_table_i_time_bins)
 
-#: Table I: request arrival rates (requests/second) of the ten files in the
-#: three consecutive time bins of the cache-evolution experiment.
-TABLE_I_ARRIVAL_RATES: List[Dict[str, float]] = [
-    {  # time bin 1
-        "file-0": 0.000156,
-        "file-1": 0.000156,
-        "file-2": 0.000125,
-        "file-3": 0.000167,
-        "file-4": 0.000104,
-        "file-5": 0.000156,
-        "file-6": 0.000156,
-        "file-7": 0.000125,
-        "file-8": 0.000167,
-        "file-9": 0.000104,
-    },
-    {  # time bin 2: files 3/8 cool down, files 4/9 heat up
-        "file-0": 0.000156,
-        "file-1": 0.000156,
-        "file-2": 0.000125,
-        "file-3": 0.000125,
-        "file-4": 0.000125,
-        "file-5": 0.000156,
-        "file-6": 0.000156,
-        "file-7": 0.000125,
-        "file-8": 0.000125,
-        "file-9": 0.000125,
-    },
-    {  # time bin 3: files 1/6 become the hottest, files 0/5 cool down
-        "file-0": 0.000125,
-        "file-1": 0.00025,
-        "file-2": 0.000125,
-        "file-3": 0.000167,
-        "file-4": 0.000104,
-        "file-5": 0.000125,
-        "file-6": 0.00025,
-        "file-7": 0.000125,
-        "file-8": 0.000167,
-        "file-9": 0.000104,
-    },
+table_iii_arrival_rates = deprecated(
+    "repro.workloads.catalog.table_iii_arrival_rates",
+    name="repro.workloads.traces.table_iii_arrival_rates",
+)(_table_iii_arrival_rates)
+
+aggregate_rate_to_per_object = deprecated(
+    "repro.workloads.catalog.aggregate_rate_to_per_object",
+    name="repro.workloads.traces.aggregate_rate_to_per_object",
+)(_aggregate_rate_to_per_object)
+
+__all__ = [
+    "TABLE_I_ARRIVAL_RATES",
+    "TABLE_III_WORKLOAD",
+    "table_i_time_bins",
+    "table_iii_arrival_rates",
+    "aggregate_rate_to_per_object",
 ]
-
-#: Table III: the 24-hour real storage workload -- object sizes (MB) and the
-#: average read request arrival rate per object of that size (requests/s).
-TABLE_III_WORKLOAD: Dict[int, float] = {
-    4: 0.00029868,
-    16: 0.00010824,
-    64: 0.00051852,
-    256: 0.0000078,
-    1024: 0.0000024,
-}
-
-
-def table_i_time_bins(duration: float = 100.0) -> List[TimeBin]:
-    """The three time bins of Table I as :class:`TimeBin` objects."""
-    return [
-        TimeBin(index=index + 1, duration=duration, arrival_rates=dict(rates))
-        for index, rates in enumerate(TABLE_I_ARRIVAL_RATES)
-    ]
-
-
-def table_iii_arrival_rates(
-    object_size_mb: int,
-    num_objects: int,
-    rate_scale: float = 1.0,
-) -> Dict[str, float]:
-    """Per-object arrival rates for a Table-III object size.
-
-    Each of the ``num_objects`` active objects of the given size receives
-    the table's average per-object rate (scaled by ``rate_scale``); the
-    paper's prototype uses 1000 active objects per size.
-    """
-    if object_size_mb not in TABLE_III_WORKLOAD:
-        raise WorkloadError(
-            f"object size {object_size_mb} MB not in Table III; "
-            f"known sizes: {sorted(TABLE_III_WORKLOAD)}"
-        )
-    if num_objects <= 0:
-        raise WorkloadError("num_objects must be positive")
-    rate = TABLE_III_WORKLOAD[object_size_mb] * rate_scale
-    return {f"obj-{object_size_mb}mb-{index}": rate for index in range(num_objects)}
-
-
-def aggregate_rate_to_per_object(
-    aggregate_rate: float, num_objects: int
-) -> Dict[str, float]:
-    """Split an aggregate arrival rate evenly over ``num_objects`` objects.
-
-    Fig. 11 sweeps aggregate read rates of 0.5-8.0 requests/s over 1000
-    64-MB objects; this helper produces the per-object rates for that sweep.
-    """
-    if aggregate_rate < 0:
-        raise WorkloadError("aggregate rate must be non-negative")
-    if num_objects <= 0:
-        raise WorkloadError("num_objects must be positive")
-    per_object = aggregate_rate / num_objects
-    return {f"obj-{index}": per_object for index in range(num_objects)}

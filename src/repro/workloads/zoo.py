@@ -1,0 +1,369 @@
+"""The workload zoo: non-stationary synthetic request-stream generators.
+
+Three generators cover the canonical ways production traffic deviates from
+the paper's stationary Poisson setup:
+
+* :class:`DiurnalWorkload` -- every object's rate follows a common
+  day/night cycle, ``rate_i(t) = base_i * (1 + amplitude * sin(2*pi*(t +
+  phase) / period))``.  Sampled by exact thinning of a dominating
+  homogeneous process (no discretization of the rate function).
+
+* :class:`FlashCrowdWorkload` -- stationary background traffic plus a
+  flash crowd: at ``flash_time`` a hot set of objects receives an extra
+  aggregate rate ``spike_rate`` that decays exponentially with time
+  constant ``decay``.  The spike component is thinned independently and
+  merged with the background stream.
+
+* :class:`PopularityDriftWorkload` -- the total rate is constant but the
+  Zipf popularity ranking rotates over the object table every
+  ``shift_every`` seconds, so the working set slowly migrates (the
+  "popularity churn" pattern CDN caches see across days).
+
+All three are seeded-deterministic (the stream is a pure function of the
+generator state and horizon), expose the time-averaged rates through
+``model()`` so Algorithm 1 and the baselines still optimize a stationary
+description, and return :class:`~repro.workloads.base.RequestStream`
+arrays the batch and replay engines consume directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.model import StorageSystemModel
+from repro.exceptions import WorkloadError
+from repro.workloads.base import RequestStream, Workload, zipf_weights
+from repro.workloads.catalog import paper_default_model
+
+
+def _merge_streams(
+    parts_times: Tuple[np.ndarray, ...], parts_positions: Tuple[np.ndarray, ...]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge independent component streams into one chronological stream."""
+    times = np.concatenate(parts_times)
+    positions = np.concatenate(parts_positions)
+    order = np.argsort(times, kind="stable")
+    return times[order], positions[order]
+
+
+def _categorical(
+    weights: np.ndarray, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Vectorised categorical draw: inverse-CDF via ``searchsorted``."""
+    cdf = np.cumsum(weights)
+    cdf[-1] = 1.0  # guard against round-off excluding the last object
+    return np.searchsorted(cdf, rng.random(count), side="right").astype(np.int64)
+
+
+@dataclass(frozen=True)
+class _ZooWorkload(Workload):
+    """Shared scaffolding: a lazily built paper-default backing model."""
+
+    num_files: int = 100
+    cache_capacity: int = 50
+    code: Tuple[int, int] = (7, 4)
+    seed: int = 2016
+    name: str = ""
+    stationary: bool = field(default=False, init=False)
+
+    def _mean_rates(self) -> np.ndarray:
+        """Per-object time-averaged arrival rates (requests/second)."""
+        raise NotImplementedError
+
+    def model(self) -> StorageSystemModel:
+        """Stationary description with the time-averaged per-object rates."""
+        n, k = self.code
+        rates = self._mean_rates()
+        return paper_default_model(
+            num_files=self.num_files,
+            cache_capacity=self.cache_capacity,
+            n=n,
+            k=k,
+            arrival_rate_pattern=list(rates),
+            seed=self.seed,
+        )
+
+    def _object_ids(self) -> Tuple[str, ...]:
+        return tuple(f"file-{index}" for index in range(self.num_files))
+
+    def _require_horizon(self, horizon: Optional[float]) -> float:
+        if horizon is None:
+            raise WorkloadError(
+                f"workload {self.name or type(self).__name__!r} has no natural "
+                f"horizon; pass one to sample()"
+            )
+        if horizon <= 0:
+            raise WorkloadError("horizon must be positive")
+        return float(horizon)
+
+
+@dataclass(frozen=True)
+class DiurnalWorkload(_ZooWorkload):
+    """Day/night cycle: all rates modulated by a common sinusoid.
+
+    ``rate_i(t) = base_i * (1 + amplitude * sin(2*pi*(t + phase) / period))``
+    with ``base_i`` Zipf(``alpha``)-distributed over the aggregate
+    ``total_rate``.  ``amplitude`` must lie in [0, 1] so rates stay
+    non-negative.
+    """
+
+    total_rate: float = 0.14
+    alpha: float = 0.9
+    period: float = 86_400.0
+    amplitude: float = 0.8
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.total_rate < 0:
+            raise WorkloadError("total_rate must be non-negative")
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise WorkloadError(
+                f"amplitude must lie in [0, 1], got {self.amplitude}"
+            )
+        if self.period <= 0:
+            raise WorkloadError("period must be positive")
+
+    def _mean_rates(self) -> np.ndarray:
+        # The sinusoid integrates to zero over a full period: the mean rate
+        # is the base rate.
+        return self.total_rate * zipf_weights(self.num_files, self.alpha)
+
+    def rate_at(self, times: np.ndarray) -> np.ndarray:
+        """The aggregate arrival rate at each of ``times`` (vectorised)."""
+        modulation = 1.0 + self.amplitude * np.sin(
+            2.0 * np.pi * (np.asarray(times, dtype=np.float64) + self.phase)
+            / self.period
+        )
+        return self.total_rate * modulation
+
+    def sample(
+        self, rng: np.random.Generator, horizon: Optional[float] = None
+    ) -> RequestStream:
+        horizon = self._require_horizon(horizon)
+        # Exact thinning: dominate with the peak rate, accept with
+        # probability rate(t) / peak.
+        peak = self.total_rate * (1.0 + self.amplitude)
+        count = int(rng.poisson(peak * horizon))
+        times = np.sort(horizon * rng.random(count))
+        accept = rng.random(count) * peak <= self.rate_at(times)
+        times = times[accept]
+        # Popularity is time-invariant here, so object assignment is one
+        # categorical draw per accepted arrival.
+        weights = zipf_weights(self.num_files, self.alpha)
+        positions = _categorical(weights, times.size, rng)
+        return RequestStream(
+            times=times,
+            object_positions=positions,
+            object_ids=self._object_ids(),
+            horizon=horizon,
+        )
+
+
+@dataclass(frozen=True)
+class FlashCrowdWorkload(_ZooWorkload):
+    """Stationary background plus an exponentially decaying flash crowd.
+
+    The background is Zipf(``alpha``) at aggregate ``base_rate``.  From
+    ``flash_time`` on, an extra aggregate rate ``spike_rate *
+    exp(-(t - flash_time) / decay)`` arrives, spread uniformly over the
+    ``hot_objects`` most popular objects.
+    """
+
+    base_rate: float = 0.14
+    alpha: float = 0.9
+    flash_time: float = 0.0
+    spike_rate: float = 1.0
+    decay: float = 3_600.0
+    hot_objects: int = 5
+
+    def __post_init__(self) -> None:
+        if self.base_rate < 0 or self.spike_rate < 0:
+            raise WorkloadError("rates must be non-negative")
+        if self.decay <= 0:
+            raise WorkloadError("decay must be positive")
+        if self.flash_time < 0:
+            raise WorkloadError("flash_time must be non-negative")
+        if not 1 <= self.hot_objects <= self.num_files:
+            raise WorkloadError(
+                f"hot_objects must lie in [1, num_files={self.num_files}], "
+                f"got {self.hot_objects}"
+            )
+
+    def spike_rate_at(self, times: np.ndarray) -> np.ndarray:
+        """The aggregate flash-crowd rate at each of ``times``."""
+        times = np.asarray(times, dtype=np.float64)
+        elapsed = times - self.flash_time
+        return np.where(
+            elapsed >= 0.0,
+            self.spike_rate * np.exp(-np.maximum(elapsed, 0.0) / self.decay),
+            0.0,
+        )
+
+    def _mean_rates(self) -> np.ndarray:
+        rates = self.base_rate * zipf_weights(self.num_files, self.alpha)
+        # The decaying spike carries ~spike_rate * decay total requests;
+        # average it over one decay constant as the hot-set surplus.
+        rates[: self.hot_objects] += self.spike_rate / self.hot_objects
+        return rates
+
+    def sample(
+        self, rng: np.random.Generator, horizon: Optional[float] = None
+    ) -> RequestStream:
+        horizon = self._require_horizon(horizon)
+        weights = zipf_weights(self.num_files, self.alpha)
+        # Background component: homogeneous Poisson.
+        base_count = int(rng.poisson(self.base_rate * horizon))
+        base_times = np.sort(horizon * rng.random(base_count))
+        base_positions = _categorical(weights, base_count, rng)
+        # Spike component: thinned against the peak spike rate, objects
+        # uniform over the hot set.
+        spike_times = np.empty(0, dtype=np.float64)
+        spike_positions = np.empty(0, dtype=np.int64)
+        if self.spike_rate > 0 and self.flash_time < horizon:
+            count = int(rng.poisson(self.spike_rate * (horizon - self.flash_time)))
+            candidates = np.sort(
+                self.flash_time + (horizon - self.flash_time) * rng.random(count)
+            )
+            accept = (
+                rng.random(count) * self.spike_rate
+                <= self.spike_rate_at(candidates)
+            )
+            spike_times = candidates[accept]
+            spike_positions = rng.integers(
+                0, self.hot_objects, size=spike_times.size, dtype=np.int64
+            )
+        times, positions = _merge_streams(
+            (base_times, spike_times), (base_positions, spike_positions)
+        )
+        return RequestStream(
+            times=times,
+            object_positions=positions,
+            object_ids=self._object_ids(),
+            horizon=horizon,
+        )
+
+
+@dataclass(frozen=True)
+class PopularityDriftWorkload(_ZooWorkload):
+    """Constant total rate with a rotating Zipf popularity ranking.
+
+    Every ``shift_every`` seconds the object occupying popularity rank
+    ``r`` moves to rank ``r + 1`` (mod N): the hot set drifts through the
+    object table at one position per shift.  Arrivals need no thinning --
+    the aggregate rate is constant -- only the object assignment is
+    time-dependent.
+    """
+
+    total_rate: float = 0.14
+    alpha: float = 0.9
+    shift_every: float = 3_600.0
+
+    def __post_init__(self) -> None:
+        if self.total_rate < 0:
+            raise WorkloadError("total_rate must be non-negative")
+        if self.shift_every <= 0:
+            raise WorkloadError("shift_every must be positive")
+
+    def shift_at(self, times: np.ndarray) -> np.ndarray:
+        """How many positions the ranking has rotated at each of ``times``."""
+        times = np.asarray(times, dtype=np.float64)
+        return (np.floor(times / self.shift_every).astype(np.int64)) % self.num_files
+
+    def _mean_rates(self) -> np.ndarray:
+        # Over a full rotation every object spends equal time at every
+        # rank: the time-averaged per-object rate is uniform.
+        return np.full(self.num_files, self.total_rate / self.num_files)
+
+    def sample(
+        self, rng: np.random.Generator, horizon: Optional[float] = None
+    ) -> RequestStream:
+        horizon = self._require_horizon(horizon)
+        count = int(rng.poisson(self.total_rate * horizon))
+        times = np.sort(horizon * rng.random(count))
+        weights = zipf_weights(self.num_files, self.alpha)
+        ranks = _categorical(weights, count, rng)
+        positions = (ranks + self.shift_at(times)) % self.num_files
+        return RequestStream(
+            times=times,
+            object_positions=positions.astype(np.int64),
+            object_ids=self._object_ids(),
+            horizon=horizon,
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry builders (wired up by repro.api.registry)
+# ----------------------------------------------------------------------
+
+
+def build_diurnal(
+    scenario,
+    *,
+    total_rate: float = 0.14,
+    alpha: float = 0.9,
+    period: float = 86_400.0,
+    amplitude: float = 0.8,
+    phase: float = 0.0,
+) -> DiurnalWorkload:
+    """Day/night sinusoidal rate cycle over a Zipf object population."""
+    return DiurnalWorkload(
+        num_files=scenario.num_files,
+        cache_capacity=scenario.cache_capacity,
+        code=scenario.code,
+        seed=scenario.seed,
+        name="diurnal",
+        total_rate=total_rate * scenario.rate_scale,
+        alpha=alpha,
+        period=period,
+        amplitude=amplitude,
+        phase=phase,
+    )
+
+
+def build_flash_crowd(
+    scenario,
+    *,
+    base_rate: float = 0.14,
+    alpha: float = 0.9,
+    flash_time: float = 0.0,
+    spike_rate: float = 1.0,
+    decay: float = 3_600.0,
+    hot_objects: int = 5,
+) -> FlashCrowdWorkload:
+    """Stationary background plus an exponentially decaying flash crowd."""
+    return FlashCrowdWorkload(
+        num_files=scenario.num_files,
+        cache_capacity=scenario.cache_capacity,
+        code=scenario.code,
+        seed=scenario.seed,
+        name="flash_crowd",
+        base_rate=base_rate * scenario.rate_scale,
+        alpha=alpha,
+        flash_time=flash_time,
+        spike_rate=spike_rate * scenario.rate_scale,
+        decay=decay,
+        hot_objects=hot_objects,
+    )
+
+
+def build_drift(
+    scenario,
+    *,
+    total_rate: float = 0.14,
+    alpha: float = 0.9,
+    shift_every: float = 3_600.0,
+) -> PopularityDriftWorkload:
+    """Constant-rate traffic whose Zipf popularity ranking rotates over time."""
+    return PopularityDriftWorkload(
+        num_files=scenario.num_files,
+        cache_capacity=scenario.cache_capacity,
+        code=scenario.code,
+        seed=scenario.seed,
+        name="drift",
+        total_rate=total_rate * scenario.rate_scale,
+        alpha=alpha,
+        shift_every=shift_every,
+    )

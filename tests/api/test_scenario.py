@@ -123,14 +123,14 @@ class TestScenarioSerialization:
         assert "exact" in text and "paper_default" in text
 
     def test_scenarios_are_hashable(self):
-        base = Scenario(num_files=12, cache_capacity=6, workload_params={"num_servers": 4})
-        same = Scenario(num_files=12, cache_capacity=6, workload_params={"num_servers": 4})
+        base = Scenario(num_files=12, cache_capacity=6, workload_params={"num_nodes": 9})
+        same = Scenario(num_files=12, cache_capacity=6, workload_params={"num_nodes": 9})
         other = base.replace(seed=1)
         assert base == same and hash(base) == hash(same)
         assert {base, same, other} == {base, other}
         # hash/eq contract holds for value-equal params of different types
         float_params = Scenario(
-            num_files=12, cache_capacity=6, workload_params={"num_servers": 4.0}
+            num_files=12, cache_capacity=6, workload_params={"num_nodes": 9.0}
         )
         assert base == float_params and hash(base) == hash(float_params)
 
@@ -142,10 +142,13 @@ class TestRegistries:
         assert set(list_solvers()) == {"projected_gradient", "frank_wolfe", "slsqp"}
         assert set(list_engines()) == {"event", "batch"}
         assert set(list_baselines()) == {"no_cache", "whole_file", "proportional", "exact"}
-        assert set(list_workloads()) == {"paper_default", "ten_file"}
+        assert set(list_workloads()) == {
+            "paper_default", "ten_file", "diurnal", "flash_crowd", "drift", "trace",
+        }
         assert set(list_policies()) == {"lru", "lfu", "arc", "ttl", "functional_static"}
         assert set(list_experiments()) == {
-            "fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10", "fig11", "tables",
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10", "fig11",
+            "tables", "scenario",
         }
 
     def test_lookups_return_specs(self):

@@ -1,0 +1,332 @@
+"""Tests of the trace-ingestion layer: schemas, validation, loading, replay."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import Scenario, run_scenario
+from repro.cluster.cluster import ClusterConfig
+from repro.cluster.replay import ClusterReplay, ReplayTrace
+from repro.exceptions import ScenarioError, TraceError, TraceValidationError
+from repro.workloads.base import RequestStream
+from repro.workloads.ingest import (
+    CDN_SCHEMA,
+    ColumnarTrace,
+    TraceWorkload,
+    factorize_object_ids,
+    get_trace_schema,
+    list_trace_schemas,
+    load_trace,
+    sniff_format,
+    validate_columns,
+    validate_trace,
+)
+
+FIXTURE = Path(__file__).parent / "fixtures" / "mini_cdn.csv"
+
+
+def good_columns(n=8):
+    return {
+        "timestamp": np.linspace(0.0, 70.0, n),
+        "object_id": np.array([f"obj-{i % 3}" for i in range(n)], dtype="S8"),
+        "size": np.full(n, 1024, dtype=np.int64),
+        "op": np.array(["GET"] * n, dtype="S4"),
+    }
+
+
+class TestSchemas:
+    def test_builtin_schemas_registered(self):
+        assert {"cdn", "kv", "block"} <= set(list_trace_schemas())
+        assert get_trace_schema("cdn") is CDN_SCHEMA
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(TraceError, match="unknown trace schema"):
+            get_trace_schema("nope")
+
+    def test_header_aliases_resolve(self):
+        mapping = CDN_SCHEMA.resolve_headers(["ts", "URL", "bytes", "op"])
+        assert mapping == {"timestamp": 0, "object_id": 1, "size": 2, "op": 3}
+
+    def test_missing_required_header_raises(self):
+        with pytest.raises(TraceError, match="object_id"):
+            CDN_SCHEMA.resolve_headers(["timestamp", "size"])
+
+    def test_sniff_format(self):
+        assert sniff_format("a.csv") == "csv"
+        assert sniff_format("a.ndjson") == "jsonl"
+        assert sniff_format("a.npz") == "npz"
+        assert sniff_format("a.bin", format="csv") == "csv"
+        with pytest.raises(TraceError, match="cannot infer"):
+            sniff_format("a.bin")
+
+
+class TestValidator:
+    def test_clean_columns_pass(self):
+        report = validate_columns(good_columns(), CDN_SCHEMA)
+        assert report.ok and report.rows == 8
+
+    def test_bad_dtype_reported(self):
+        columns = good_columns()
+        columns["timestamp"] = columns["timestamp"].astype("S8")
+        report = validate_columns(columns, CDN_SCHEMA)
+        violations = report.for_column("timestamp")
+        assert [v.check for v in violations] == ["dtype"]
+        with pytest.raises(TraceValidationError) as excinfo:
+            report.raise_for_violations()
+        assert excinfo.value.report is report
+
+    def test_unsorted_timestamps_reported(self):
+        columns = good_columns()
+        columns["timestamp"] = columns["timestamp"][::-1].copy()
+        report = validate_columns(columns, CDN_SCHEMA)
+        (violation,) = report.for_column("timestamp")
+        assert violation.check == "unsorted"
+        assert violation.first_row == 1
+
+    def test_negative_sizes_reported(self):
+        columns = good_columns()
+        columns["size"][3] = -5
+        report = validate_columns(columns, CDN_SCHEMA)
+        (violation,) = report.for_column("size")
+        assert violation.check == "negative"
+        assert violation.count == 1 and violation.first_row == 3
+
+    def test_unknown_op_reported(self):
+        columns = good_columns()
+        columns["op"][2] = b"EVIL"
+        report = validate_columns(columns, CDN_SCHEMA)
+        (violation,) = report.for_column("op")
+        assert violation.check == "unknown_op"
+
+    def test_nan_timestamps_reported(self):
+        columns = good_columns()
+        columns["timestamp"][4] = np.nan
+        report = validate_columns(columns, CDN_SCHEMA)
+        assert "nan" in {v.check for v in report.for_column("timestamp")}
+
+    def test_missing_required_column_reported(self):
+        columns = good_columns()
+        del columns["object_id"]
+        report = validate_columns(columns, CDN_SCHEMA)
+        (violation,) = report.for_column("object_id")
+        assert violation.check == "missing"
+
+    def test_multiple_violations_collected_in_one_pass(self):
+        columns = good_columns()
+        columns["timestamp"] = columns["timestamp"][::-1].copy()
+        columns["size"][0] = -1
+        columns["op"][1] = b"EVIL"
+        report = validate_columns(columns, CDN_SCHEMA)
+        assert {v.column for v in report.violations} == {"timestamp", "size", "op"}
+        assert "3 violation(s)" in report.summary()
+
+
+class TestFactorize:
+    def test_first_appearance_order(self):
+        ids = np.array(["b", "a", "b", "c", "a"], dtype="S4")
+        positions, table = factorize_object_ids(ids)
+        assert table == ("b", "a", "c")
+        assert positions.tolist() == [0, 1, 0, 2, 1]
+
+    def test_wide_ids_hash_consistently(self):
+        # Wider than one 8-byte word: exercises the multi-word hash.
+        ids = np.array([f"object/very/long/name-{i % 7:04d}" for i in range(50)])
+        positions, table = factorize_object_ids(ids)
+        assert len(table) == 7
+        reconstructed = [table[p] for p in positions]
+        assert reconstructed == [f"object/very/long/name-{i % 7:04d}" for i in range(50)]
+
+    def test_integer_ids(self):
+        positions, table = factorize_object_ids(np.array([7, 3, 7, 9]))
+        assert table == ("7", "3", "9")
+        assert positions.tolist() == [0, 1, 0, 2]
+
+    def test_empty(self):
+        positions, table = factorize_object_ids(np.empty(0, dtype="S8"))
+        assert positions.size == 0 and table == ()
+
+
+class TestLoader:
+    def test_fixture_validates_and_loads(self):
+        report = validate_trace(FIXTURE)
+        assert report.ok, report.summary()
+        stream = load_trace(FIXTURE)
+        assert stream.num_requests > 0
+        assert stream.num_objects > 1
+        assert stream.times[0] == 0.0
+        assert np.all(np.diff(stream.times) >= 0)
+        assert stream.sizes_bytes is not None
+        assert np.all(stream.sizes_bytes > 0)
+
+    def test_reads_only_filters_writes(self):
+        everything = load_trace(FIXTURE, reads_only=False)
+        reads = load_trace(FIXTURE)
+        assert reads.num_requests < everything.num_requests
+
+    def test_lazy_columnar_view(self):
+        trace = ColumnarTrace(FIXTURE)
+        assert not trace.loaded
+        assert trace.num_rows == 200
+        assert trace.loaded
+        assert set(trace.columns) == {"timestamp", "object_id", "size", "op"}
+        with pytest.raises(TraceError, match="no column"):
+            trace.column("latency")
+
+    def test_jsonl_and_npz_round_trip(self, tmp_path):
+        csv_stream = load_trace(FIXTURE)
+        trace = ColumnarTrace(FIXTURE)
+        columns = trace.columns
+
+        jsonl_path = tmp_path / "mini.jsonl"
+        with open(jsonl_path, "w") as handle:
+            for row in range(trace.num_rows):
+                handle.write(
+                    json.dumps(
+                        {
+                            "timestamp": float(columns["timestamp"][row]),
+                            "object_id": columns["object_id"][row].decode(),
+                            "size": int(columns["size"][row]),
+                            "op": columns["op"][row].decode(),
+                        }
+                    )
+                    + "\n"
+                )
+        npz_path = tmp_path / "mini.npz"
+        np.savez(
+            npz_path,
+            timestamp=columns["timestamp"],
+            object_id=columns["object_id"].astype("U"),
+            size=columns["size"],
+            op=columns["op"].astype("U"),
+        )
+
+        for path in (jsonl_path, npz_path):
+            stream = load_trace(path)
+            assert stream.object_ids == csv_stream.object_ids
+            np.testing.assert_array_equal(stream.times, csv_stream.times)
+            np.testing.assert_array_equal(
+                stream.object_positions, csv_stream.object_positions
+            )
+            np.testing.assert_array_equal(
+                stream.sizes_bytes, csv_stream.sizes_bytes
+            )
+
+    def test_validation_failure_carries_report(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "timestamp,object_id,size,op\n"
+            "5.0,a,100,GET\n"
+            "1.0,b,-7,GET\n"
+        )
+        with pytest.raises(TraceValidationError) as excinfo:
+            load_trace(path)
+        checks = {v.check for v in excinfo.value.report.violations}
+        assert checks == {"unsorted", "negative"}
+
+    def test_unparseable_csv_reports_column(self, tmp_path):
+        path = tmp_path / "garbled.csv"
+        path.write_text(
+            "timestamp,object_id,size,op\n"
+            "1.0,a,100,GET\n"
+            "oops,b,100,GET\n"
+        )
+        with pytest.raises(TraceValidationError) as excinfo:
+            load_trace(path)
+        assert excinfo.value.report.for_column("timestamp")
+
+    def test_missing_file(self):
+        with pytest.raises(TraceError, match="does not exist"):
+            load_trace("/nonexistent/trace.csv")
+
+
+class TestReplayParity:
+    def test_fixture_replays_bit_equal_across_engines(self):
+        """Counters of the epoch engine match the per-request reference."""
+        stream = load_trace(FIXTURE)
+        trace = ReplayTrace.from_request_stream(stream)
+        config = ClusterConfig(cache_capacity_mb=4 * 1024)
+        results = {}
+        for engine in ("request", "epoch"):
+            replay = ClusterReplay(config, list(stream.object_ids), policy="lru")
+            results[engine] = replay.run(trace, engine=engine, seed=11)
+        request, epoch = results["request"], results["epoch"]
+        assert epoch.reads == request.reads == stream.num_requests
+        assert epoch.hits == request.hits
+        assert epoch.promotions == request.promotions
+        assert epoch.chunks_from_cache == request.chunks_from_cache
+        assert epoch.chunks_from_storage == request.chunks_from_storage
+        np.testing.assert_array_equal(epoch.hit_mask, request.hit_mask)
+        np.testing.assert_allclose(
+            epoch.latencies_ms, request.latencies_ms, rtol=1e-9
+        )
+
+    def test_to_replay_trace_converts_to_milliseconds(self):
+        stream = load_trace(FIXTURE)
+        trace = stream.to_replay_trace()
+        np.testing.assert_allclose(trace.times_ms, stream.times * 1000.0)
+
+
+class TestTraceWorkload:
+    def test_scenario_round_trips_through_json(self):
+        scenario = Scenario(
+            workload="trace",
+            workload_params={"path": FIXTURE, "schema": "cdn"},
+            cache_capacity=20,
+        )
+        # Path values are coerced to str for JSON safety.
+        assert scenario.workload_params["path"] == str(FIXTURE)
+        payload = json.loads(json.dumps(scenario.to_dict()))
+        assert Scenario.from_dict(payload) == scenario
+
+    def test_trace_requires_path(self):
+        with pytest.raises(TraceError, match="path"):
+            run_scenario(Scenario(workload="trace", simulate=False))
+
+    def test_unknown_trace_param_fails_at_construction(self):
+        with pytest.raises(ScenarioError, match="accepted parameters"):
+            Scenario(workload="trace", workload_params={"pth": "x.csv"})
+
+    def test_run_scenario_end_to_end(self):
+        result = run_scenario(
+            Scenario(
+                workload="trace",
+                workload_params={"path": FIXTURE},
+                cache_capacity=20,
+            )
+        )
+        assert result.simulation is not None
+        stream = load_trace(FIXTURE)
+        # The trace defines both the horizon and the replayed arrivals.
+        assert result.simulation.horizon == pytest.approx(stream.duration)
+        assert result.simulation.requests_completed <= stream.num_requests
+        assert result.simulated_mean_latency > 0
+
+    def test_engines_agree_on_request_count(self):
+        base = Scenario(
+            workload="trace", workload_params={"path": FIXTURE}, cache_capacity=20
+        )
+        batch = run_scenario(base)
+        event = run_scenario(base.replace(engine="event"))
+        assert (
+            batch.simulation.requests_completed
+            == event.simulation.requests_completed
+        )
+
+    def test_workload_object_protocol(self):
+        stream = load_trace(FIXTURE)
+        workload = TraceWorkload(stream=stream, cache_capacity=10)
+        assert not workload.stationary
+        assert workload.default_horizon() == pytest.approx(stream.duration)
+        model = workload.model()
+        assert model.num_files == stream.num_objects
+        # sample() replays the recorded stream; rng is irrelevant.
+        sampled = workload.sample(np.random.default_rng(0))
+        assert sampled is stream
+        truncated = workload.sample(
+            np.random.default_rng(0), horizon=stream.duration / 2
+        )
+        assert truncated.num_requests < stream.num_requests
