@@ -18,7 +18,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.2.0",
+    version="1.3.0",
     description=(
         "Reproduction of 'Sprout: a functional caching approach to minimize "
         "service latency in erasure-coded storage' (ICDCS 2016)"
@@ -33,5 +33,13 @@ setup(
     extras_require={
         "array-api": ["array-api-strict>=1.1"],
         "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": [
+            # The experiments CLI (same interface as
+            # ``python -m repro.experiments``): --list, per-experiment
+            # runs, --fault/--fault-param, --workload/--workload-param.
+            "repro-experiments=repro.experiments.runner:main",
+        ],
     },
 )

@@ -40,12 +40,14 @@ from repro.api.registry import (
     BASELINES,
     ENGINES,
     EXPERIMENTS,
+    FAULTS,
     KERNEL_BACKENDS,
     POLICIES,
     SOLVERS,
     WORKLOADS,
     BaselineSpec,
     EngineSpec,
+    FaultSpec,
     KernelBackendSpec,
     PolicySpec,
     Registry,
@@ -53,6 +55,7 @@ from repro.api.registry import (
     WorkloadSpec,
     get_baseline,
     get_engine,
+    get_fault,
     get_kernel_backend_spec,
     get_policy,
     get_solver,
@@ -60,12 +63,14 @@ from repro.api.registry import (
     list_baselines,
     list_engines,
     list_experiments,
+    list_faults,
     list_kernel_backends,
     list_policies,
     list_solvers,
     list_workloads,
     register_baseline,
     register_engine,
+    register_fault,
     register_kernel_backend,
     register_policy,
     register_solver,
@@ -96,12 +101,14 @@ __all__ = [
     "BaselineSpec",
     "WorkloadSpec",
     "PolicySpec",
+    "FaultSpec",
     "KernelBackendSpec",
     "SOLVERS",
     "ENGINES",
     "BASELINES",
     "WORKLOADS",
     "POLICIES",
+    "FAULTS",
     "KERNEL_BACKENDS",
     "EXPERIMENTS",
     "register_solver",
@@ -109,18 +116,21 @@ __all__ = [
     "register_baseline",
     "register_workload",
     "register_policy",
+    "register_fault",
     "register_kernel_backend",
     "get_solver",
     "get_engine",
     "get_baseline",
     "get_workload",
     "get_policy",
+    "get_fault",
     "get_kernel_backend_spec",
     "list_solvers",
     "list_engines",
     "list_baselines",
     "list_workloads",
     "list_policies",
+    "list_faults",
     "list_kernel_backends",
     # serialization
     "to_jsonable",

@@ -92,7 +92,14 @@ class ExperimentSpec:
 
     #: Overrides every CLI run forwards; dropped (not an error) when the
     #: runner's signature does not take them.
-    UNIFORM_FLAGS = ("engine", "seed", "workload", "workload_params")
+    UNIFORM_FLAGS = (
+        "engine",
+        "seed",
+        "workload",
+        "workload_params",
+        "faults",
+        "fault_params",
+    )
 
     def run(self, scale: str = "fast", **overrides: Any) -> Any:
         """Run the experiment at ``scale`` and return its typed result.

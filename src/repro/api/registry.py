@@ -280,6 +280,65 @@ class WorkloadSpec:
 
 
 @dataclass(frozen=True)
+class FaultSpec:
+    """A seeded fault-schedule generator for the failure suite.
+
+    ``build(num_osds, horizon_ms, rng, service_ms, **params)`` must return a
+    :class:`~repro.faults.base.FaultTimeline`: the compiled piecewise-constant
+    cluster state (availability masks, straggler multipliers, background
+    repair jobs) the replay engines consume.  ``rng`` is a seeded
+    ``numpy.random.Generator`` and ``service_ms`` the replay's nominal chunk
+    service time (the default sizing for repair jobs).  The keyword names
+    after those four become the accepted ``fault_params``, validated eagerly
+    at :class:`Scenario` construction.
+    """
+
+    name: str
+    description: str
+    build: Callable[..., Any]
+
+    def accepted_params(self) -> Optional[Tuple[str, ...]]:
+        """The ``fault_params`` names the generator accepts (``None`` = any)."""
+        import inspect
+
+        try:
+            signature = inspect.signature(self.build)
+        except (TypeError, ValueError):  # builtins / C callables
+            return None
+        parameters = list(signature.parameters.values())
+        if any(
+            parameter.kind is inspect.Parameter.VAR_KEYWORD
+            for parameter in parameters
+        ):
+            return None
+        return tuple(
+            parameter.name
+            for parameter in parameters[4:]
+            if parameter.kind
+            in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            )
+        )
+
+    def validate_params(self, params: Any) -> None:
+        """Fail fast on ``fault_params`` the generator does not accept."""
+        if not params:
+            return
+        accepted = self.accepted_params()
+        if accepted is None:
+            return
+        unknown = sorted(set(params) - set(accepted))
+        if unknown:
+            from repro.exceptions import ScenarioError
+
+            raise ScenarioError(
+                f"fault generator {self.name!r} does not accept fault_params "
+                f"{unknown}; accepted parameters: {sorted(accepted) or '<none>'}"
+            )
+
+
+@dataclass(frozen=True)
 class KernelBackendSpec:
     """An array-API kernel backend for :mod:`repro.kernels`.
 
@@ -319,12 +378,20 @@ def _import_experiment_modules() -> None:
     importlib.import_module("repro.experiments")
 
 
+def _import_fault_generators() -> None:
+    # The built-in generators register themselves on import; lazy like the
+    # experiment registry so repro.faults can import repro.api.registry
+    # without a cycle.
+    importlib.import_module("repro.faults.generators")
+
+
 SOLVERS: Registry[SolverSpec] = Registry("solver")
 ENGINES: Registry[EngineSpec] = Registry("engine")
 BASELINES: Registry[BaselineSpec] = Registry("baseline")
 WORKLOADS: Registry[WorkloadSpec] = Registry("workload")
 POLICIES: Registry[PolicySpec] = Registry("cache policy", plural="cache policies")
 KERNEL_BACKENDS: Registry[KernelBackendSpec] = Registry("kernel backend")
+FAULTS: Registry[FaultSpec] = Registry("fault generator", populate=_import_fault_generators)
 EXPERIMENTS: Registry[Any] = Registry("experiment", populate=_import_experiment_modules)
 
 
@@ -425,6 +492,36 @@ def register_policy(name: str, description: str = "") -> Callable[[Callable[...,
     return decorate
 
 
+def register_fault(name: str, description: str = "") -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register a seeded fault-schedule generator for the failure suite.
+
+    The decorated callable must accept
+    ``(num_osds, horizon_ms, rng, service_ms, *, param=..., ...)`` and
+    return a :class:`~repro.faults.base.FaultTimeline`.  Registered
+    generators become valid ``Scenario(faults=...)`` values and ``--fault``
+    choices on the experiments CLI::
+
+        from repro.api import register_fault
+        from repro.faults import FaultWindow, timeline_from_windows
+
+        @register_fault("maintenance", description="rolling one-OSD reboots")
+        def build_maintenance(num_osds, horizon_ms, rng, service_ms, *, downtime_ms=60000.0):
+            windows = [
+                FaultWindow("down", osd, osd * downtime_ms, (osd + 1) * downtime_ms)
+                for osd in range(num_osds)
+            ]
+            return timeline_from_windows(windows, num_osds, horizon_ms)
+    """
+
+    def decorate(func: Callable[..., Any]) -> Callable[..., Any]:
+        FAULTS.register(
+            name, FaultSpec(name=name, description=description or _first_doc_line(func), build=func)
+        )
+        return func
+
+    return decorate
+
+
 def register_kernel_backend(name: str, description: str = "") -> Callable[[Callable[[], Any]], Callable[[], Any]]:
     """Register a kernel-backend loader for :mod:`repro.kernels`.
 
@@ -509,6 +606,16 @@ def list_workloads() -> List[str]:
 def list_policies() -> List[str]:
     """Names of the registered cache policies."""
     return POLICIES.names()
+
+
+def get_fault(name: str) -> FaultSpec:
+    """Look up a registered fault generator."""
+    return FAULTS.get(name)
+
+
+def list_faults() -> List[str]:
+    """Names of the registered fault generators."""
+    return FAULTS.names()
 
 
 def get_kernel_backend_spec(name: str) -> KernelBackendSpec:

@@ -20,6 +20,7 @@ from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple
 from repro.api.registry import (
     BASELINES,
     ENGINES,
+    FAULTS,
     KERNEL_BACKENDS,
     POLICIES,
     SOLVERS,
@@ -82,6 +83,16 @@ class Scenario:
     policy_params:
         Extra keyword arguments for a registered cache policy (e.g.
         ``ttl`` for the TTL policy); only valid with a cache policy.
+    faults:
+        Optional registered fault-generator name
+        (``repro.api.list_faults()``: ``osd_crash``, ``degraded_read``,
+        ``straggler``, ``repair_traffic``, ...).  When set, cluster-replay
+        runs driven by this scenario execute under the compiled fault
+        schedule; ``None`` (default) replays a healthy cluster.
+    fault_params:
+        Keyword parameters for the fault generator (e.g. ``crash_rate``,
+        ``downtime_ms`` for ``osd_crash``); validated eagerly against the
+        generator's signature, only valid together with ``faults``.
     """
 
     workload: str = "paper_default"
@@ -102,6 +113,8 @@ class Scenario:
     workload_params: Mapping[str, Any] = field(default_factory=dict)
     solver_params: Mapping[str, Any] = field(default_factory=dict)
     policy_params: Mapping[str, Any] = field(default_factory=dict)
+    faults: Optional[str] = None
+    fault_params: Mapping[str, Any] = field(default_factory=dict)
 
     #: Default simulation horizons per scale (model time units).
     DEFAULT_HORIZONS: ClassVar[Dict[str, float]] = {"fast": 200_000.0, "paper": 2_000_000.0}
@@ -122,6 +135,7 @@ class Scenario:
         object.__setattr__(self, "workload_params", MappingProxyType(workload_params))
         object.__setattr__(self, "solver_params", MappingProxyType(dict(self.solver_params)))
         object.__setattr__(self, "policy_params", MappingProxyType(dict(self.policy_params)))
+        object.__setattr__(self, "fault_params", MappingProxyType(dict(self.fault_params)))
         self._validate()
 
     def __hash__(self) -> int:
@@ -150,6 +164,8 @@ class Scenario:
                 tuple(sorted(self.workload_params)),
                 tuple(sorted(self.solver_params)),
                 tuple(sorted(self.policy_params)),
+                self.faults,
+                tuple(sorted(self.fault_params)),
             )
         )
 
@@ -183,6 +199,14 @@ class Scenario:
                 f"policy_params only apply to a registered cache policy, "
                 f"not policy={self.policy!r}"
             )
+        if self.faults is not None:
+            if not isinstance(self.faults, str):
+                raise ScenarioError(
+                    f"faults must be a registered fault-generator name, got {self.faults!r}"
+                )
+            FAULTS.get(self.faults).validate_params(self.fault_params)
+        elif self.fault_params:
+            raise ScenarioError("fault_params require a faults generator name")
         # Type checks first, so e.g. string-typed numbers from a config file
         # raise ScenarioError instead of a raw comparison TypeError.
         for name, value in (("num_files", self.num_files), ("cache_capacity", self.cache_capacity)):
@@ -261,11 +285,12 @@ class Scenario:
     def describe(self) -> str:
         """One-line human-readable summary."""
         policy = self.policy if not self.uses_optimizer else f"optimal/{self.solver}"
+        faults = f", faults={self.faults}" if self.faults is not None else ""
         return (
             f"Scenario({self.workload}: {self.num_files} files, "
             f"C={self.cache_capacity}, code={self.code}, policy={policy}, "
             f"engine={self.engine}, backend={self.backend}, "
-            f"seed={self.seed}, scale={self.scale})"
+            f"seed={self.seed}, scale={self.scale}{faults})"
         )
 
     # ------------------------------------------------------------------
@@ -297,6 +322,8 @@ class Scenario:
             "workload_params": dict(self.workload_params),
             "solver_params": dict(self.solver_params),
             "policy_params": dict(self.policy_params),
+            "faults": self.faults,
+            "fault_params": dict(self.fault_params),
         }
 
     @classmethod

@@ -16,6 +16,7 @@ any code change.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
@@ -25,6 +26,7 @@ import numpy as np
 from repro.api.registry import BASELINES, ENGINES, POLICIES, SOLVERS, WORKLOADS
 from repro.api.scenario import Scenario
 from repro.api.serialize import json_dumps, write_json
+from repro.cluster.replay import ReplayResult
 from repro.core.algorithm import OptimizationResult
 from repro.core.model import StorageSystemModel
 from repro.core.placement import CachePlacement, placement_histogram
@@ -46,15 +48,20 @@ class RunResult:
         Full Algorithm-1 outcome (``None`` for baseline policies).
     simulation:
         Simulation outcome (``None`` when ``scenario.simulate`` is false).
+    replay:
+        Cluster trace-replay outcome (``None`` unless ``scenario.faults``
+        requested a fault schedule -- the emulated cluster is the only
+        layer where OSD failures are observable).
     timings:
         Wall-clock seconds per stage (``build_model``, ``optimize`` /
-        ``baseline``, ``simulate``, ``total``).
+        ``baseline``, ``simulate``, ``replay``, ``total``).
     """
 
     scenario: Scenario
     placement: CachePlacement
     optimization: Optional[OptimizationResult] = None
     simulation: Optional[SimulationResult] = None
+    replay: Optional[ReplayResult] = None
     timings: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -101,6 +108,17 @@ class RunResult:
                 f"{self.simulation.requests_completed} requests, "
                 f"{self.simulation.cache_chunk_fraction():.1%} of chunks from cache"
             )
+        if self.replay is not None:
+            mean = self.replay.mean_latency_ms()
+            mean_text = "n/a" if math.isnan(mean) else f"{mean:.1f} ms"
+            lines.append(
+                f"  cluster replay (faults={self.replay.faults or 'none'}): "
+                f"mean latency {mean_text} over "
+                f"{self.replay.served}/{self.replay.reads} served reads, "
+                f"{self.replay.degraded_reads} degraded, "
+                f"{self.replay.failed_reads} failed, "
+                f"{self.replay.repair_jobs} repair jobs"
+            )
         lines.append(
             "  timings: "
             + ", ".join(f"{stage}={seconds:.3f}s" for stage, seconds in self.timings.items())
@@ -137,6 +155,26 @@ class RunResult:
                 "chunks_from_storage": self.simulation.chunks_from_storage,
                 "cache_chunk_fraction": self.simulation.cache_chunk_fraction(),
                 "latency": self.simulation.metrics.summary(),
+            }
+        if self.replay is not None:
+            mean = self.replay.mean_latency_ms()
+            p99 = self.replay.percentile_ms(99.0)
+            payload["cluster_replay"] = {
+                "engine": self.replay.engine,
+                "policy": self.replay.policy,
+                "faults": self.replay.faults,
+                "reads": self.replay.reads,
+                "served": self.replay.served,
+                "hits": self.replay.hits,
+                "hit_ratio": self.replay.hit_ratio,
+                "degraded_reads": self.replay.degraded_reads,
+                "failed_reads": self.replay.failed_reads,
+                "repair_jobs": self.replay.repair_jobs,
+                "chunks_from_cache": self.replay.chunks_from_cache,
+                "chunks_from_storage": self.replay.chunks_from_storage,
+                # nan (no served reads) is not valid JSON -- encode as null.
+                "mean_latency_ms": None if math.isnan(mean) else mean,
+                "p99_latency_ms": None if math.isnan(p99) else p99,
             }
         return payload
 
@@ -181,6 +219,106 @@ class Session:
     def build_model(self, scenario: Scenario) -> StorageSystemModel:
         """Materialize the scenario's workload into a system model."""
         return self.build_workload(scenario).model()
+
+    def build_faults(self, scenario: Scenario):
+        """Materialize the scenario's fault schedule (``None`` if healthy).
+
+        Returns a :class:`~repro.faults.base.GeneratedFaultSchedule` bound
+        to ``scenario.faults``/``scenario.fault_params``; compiling it is
+        deferred to the replay, which knows the OSD count and horizon.
+        """
+        if scenario.faults is None:
+            return None
+        from repro.faults import GeneratedFaultSchedule
+
+        return GeneratedFaultSchedule(scenario.faults, dict(scenario.fault_params))
+
+    #: Cluster-replay benchmark duration (seconds) per scenario scale.
+    REPLAY_DURATION_S = {"fast": 120.0, "paper": 1800.0}
+
+    def replay_cluster(
+        self,
+        scenario: Scenario,
+        *,
+        duration_s: Optional[float] = None,
+        engine: str = "epoch",
+        epoch_length: Optional[int] = None,
+        num_osds: int = 12,
+        total_rate_rps: float = 4.0,
+        model: Optional[StorageSystemModel] = None,
+        placement: Optional[CachePlacement] = None,
+    ) -> ReplayResult:
+        """Replay the scenario's workload against the emulated cluster.
+
+        This is the layer where ``scenario.faults`` becomes observable: the
+        model-level simulation has no OSDs to crash, so fault schedules are
+        applied to the trace-replay engines of :mod:`repro.cluster.replay`.
+        Cache-policy scenarios replay under the named policy; optimizer and
+        baseline scenarios freeze their computed placement into a static
+        functional allocation.  Pass ``model``/``placement`` to reuse
+        already-built pipeline stages.
+
+        The model's analytical arrival rates are normalized to an aggregate
+        of ``total_rate_rps`` requests per second, preserving the per-file
+        popularity skew: the emulated device model serves chunks in
+        hundreds of milliseconds, so the raw analytical rates (tuned to the
+        queueing model's own service scale) would leave the cluster idle.
+        """
+        from repro.cluster.cluster import ClusterConfig
+        from repro.cluster.devices import chunk_size_for_object
+        from repro.cluster.replay import ClusterReplay, ReplayTrace
+        from repro.policies.functional import StaticFunctionalPolicy
+
+        if model is None:
+            model = self.build_model(scenario)
+        n, k = scenario.code
+        object_size_mb = 64
+        chunk_mb = chunk_size_for_object(object_size_mb, k)
+        config = ClusterConfig(
+            num_osds=max(int(num_osds), n),
+            n=n,
+            k=k,
+            object_size_mb=object_size_mb,
+            cache_capacity_mb=int(model.cache_capacity) * chunk_mb,
+            seed=scenario.seed,
+        )
+        if scenario.uses_cache_policy:
+            policy: Any = scenario.policy
+            policy_params: Dict[str, object] = dict(scenario.policy_params)
+        else:
+            if placement is None:
+                placement, _ = self._place(scenario, model)
+            allocation = placement.cached_chunks()
+
+            def policy(capacity, chunks_per_file, allocation=allocation):
+                return StaticFunctionalPolicy(
+                    capacity, chunks_per_file, allocation=allocation
+                )
+
+            policy_params = {}
+        if duration_s is None:
+            duration_s = self.REPLAY_DURATION_S.get(scenario.scale, 120.0)
+        raw_rates = {file.file_id: file.arrival_rate for file in model.files}
+        total_rate = sum(raw_rates.values())
+        rate_scale = total_rate_rps / total_rate if total_rate > 0 else 1.0
+        rates = {fid: rate * rate_scale for fid, rate in raw_rates.items()}
+        trace = ReplayTrace.from_rates(
+            rates, float(duration_s), seed=scenario.seed + 101
+        )
+        replay = ClusterReplay(
+            config,
+            [file.file_id for file in model.files],
+            policy=policy,
+            policy_params=policy_params,
+        )
+        return replay.run(
+            trace,
+            engine=engine,
+            seed=scenario.seed + 1,
+            epoch_length=epoch_length,
+            faults=scenario.faults,
+            fault_params=dict(scenario.fault_params),
+        )
 
     def _place(self, scenario: Scenario, model: StorageSystemModel):
         if scenario.uses_optimizer:
@@ -240,6 +378,10 @@ class Session:
     def run(self, scenario: Scenario) -> RunResult:
         """Execute optimize -> schedule -> simulate for one scenario.
 
+        When ``scenario.faults`` names a fault schedule, a fault-aware
+        cluster replay stage runs after the simulation (see
+        :meth:`replay_cluster`) and lands in ``result.replay``.
+
         The scenario's kernel backend is active for the whole pipeline, so
         every queueing kernel the stages reach computes in that namespace.
         """
@@ -268,12 +410,21 @@ class Session:
                 simulation = self._simulate(scenario, model, placement, workload)
                 timings["simulate"] = time.perf_counter() - stage
 
+            replay: Optional[ReplayResult] = None
+            if scenario.faults is not None:
+                stage = time.perf_counter()
+                replay = self.replay_cluster(
+                    scenario, model=model, placement=placement
+                )
+                timings["replay"] = time.perf_counter() - stage
+
         timings["total"] = time.perf_counter() - started
         result = RunResult(
             scenario=scenario,
             placement=placement,
             optimization=optimization,
             simulation=simulation,
+            replay=replay,
             timings=timings,
         )
         self._results.append(result)

@@ -308,6 +308,8 @@ class CephLikeCluster:
         seed: Optional[int] = None,
         epoch_length: Optional[int] = None,
         policy_params: Optional[Dict[str, object]] = None,
+        faults=None,
+        fault_params: Optional[Dict[str, object]] = None,
     ):
         """Run the cache-tier read benchmark through the trace-replay engines.
 
@@ -316,7 +318,9 @@ class CephLikeCluster:
         device model under any registered cache policy -- vectorised with
         ``engine="epoch"`` (orders of magnitude faster than the per-request
         :meth:`run_read_benchmark` loop) or with the per-request reference
-        ``engine="request"``.  Returns a
+        ``engine="request"``.  ``faults``/``fault_params`` inject an OSD
+        fault schedule (registered generator name, schedule object or
+        compiled timeline -- see :mod:`repro.faults`).  Returns a
         :class:`~repro.cluster.replay.ReplayResult`.
         """
         from repro.cluster.replay import ClusterReplay, ReplayTrace
@@ -330,7 +334,12 @@ class CephLikeCluster:
             policy_params=policy_params,
         )
         return replay.run(
-            trace, engine=engine, seed=root + 1, epoch_length=epoch_length
+            trace,
+            engine=engine,
+            seed=root + 1,
+            epoch_length=epoch_length,
+            faults=faults,
+            fault_params=fault_params,
         )
 
     def reset_queues(self) -> None:

@@ -80,6 +80,10 @@ class TraceValidationError(TraceError):
         self.report = report
 
 
+class FaultError(ClusterError):
+    """Raised for invalid fault schedules, windows or generator parameters."""
+
+
 class RegistryError(SproutError):
     """Raised for invalid registry operations (unknown or duplicate names)."""
 

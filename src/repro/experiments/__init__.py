@@ -17,6 +17,8 @@ from repro.experiments import (
     fig9_service_cdf,
     fig10_object_sizes,
     fig11_arrival_rates,
+    fig12_tail_under_failure,
+    fig13_degraded_reads,
     scenario_run,
     tables,
 )
@@ -30,6 +32,8 @@ __all__ = [
     "fig9_service_cdf",
     "fig10_object_sizes",
     "fig11_arrival_rates",
+    "fig12_tail_under_failure",
+    "fig13_degraded_reads",
     "scenario_run",
     "tables",
 ]

@@ -1,0 +1,201 @@
+"""Fig. 12: tail latency under OSD failures, functional caching vs baselines.
+
+The failure-suite companion of Fig. 11: the same emulated cluster replays
+the same Poisson read trace while a seeded ``osd_crash`` schedule takes
+OSDs down at increasing crash rates.  Reads whose preferred chunks land on
+a crashed OSD re-route through CRUSH to surviving OSDs with the k-of-n
+repair fan-out, so every crash both widens the per-read fan-out and
+removes a server -- the tail (p99/p99.9) degrades much faster than the
+mean.  Three cache configurations are compared:
+
+* ``functional`` -- the optimized static functional allocation (Algorithm
+  1 on the matching analytical model),
+* ``static`` -- the uniform round-robin functional allocation,
+* ``lru`` -- the Ceph-like LRU cache tier.
+
+The cached chunks shield reads from the storage tier entirely, so the
+configurations separate most visibly at the tail under failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.api.experiments import register_experiment
+from repro.cluster.cluster import ClusterConfig
+from repro.cluster.replay import ClusterReplay, ReplayTrace
+from repro.core.algorithm import CacheOptimizer
+from repro.experiments.fig10_object_sizes import _analytical_model
+from repro.policies.functional import StaticFunctionalPolicy
+from repro.workloads.catalog import aggregate_rate_to_per_object
+
+
+@dataclass
+class TailPoint:
+    """Tail statistics of one (crash rate, cache configuration) replay."""
+
+    crash_rate: float
+    policy: str
+    mean_ms: float
+    p99_ms: float
+    p999_ms: float
+    served: int
+    degraded_reads: int
+    failed_reads: int
+
+
+@dataclass
+class Fig12Result:
+    """Tail-latency sweep over crash rates for every cache configuration."""
+
+    points: List[TailPoint] = field(default_factory=list)
+    crash_rates: Sequence[float] = ()
+    policies: Sequence[str] = ()
+    num_objects: int = 0
+    duration_s: float = 0.0
+    downtime_ms: float = 0.0
+
+    def points_for(self, policy: str) -> List[TailPoint]:
+        """The policy's points in crash-rate order."""
+        return sorted(
+            (point for point in self.points if point.policy == policy),
+            key=lambda point: point.crash_rate,
+        )
+
+    def tail_inflation(self, policy: str) -> float:
+        """p99 at the highest crash rate over p99 when healthy."""
+        points = self.points_for(policy)
+        if len(points) < 2 or points[0].p99_ms <= 0:
+            return 1.0
+        return points[-1].p99_ms / points[0].p99_ms
+
+
+@register_experiment(
+    "fig12",
+    title="Tail latency under OSD failures (Fig. 12)",
+    description="p99/p99.9 vs crash rate, functional vs static vs LRU",
+    scales={
+        "fast": {
+            "crash_rates": (0.0, 2e-5, 1e-4),
+            "num_objects": 80,
+            "cache_capacity_mb": 1024,
+            "duration_s": 240.0,
+        }
+    },
+)
+def run(
+    crash_rates: Sequence[float] = (0.0, 5e-6, 2e-5, 1e-4),
+    num_objects: int = 200,
+    aggregate_rate: float = 4.0,
+    duration_s: float = 600.0,
+    cache_capacity_mb: int = 2 * 1024,
+    downtime_ms: float = 60_000.0,
+    object_size_mb: int = 64,
+    seed: int = 2016,
+    tolerance: float = 0.5,
+    engine: str = "epoch",
+    policies: Sequence[str] = ("functional", "static", "lru"),
+) -> Fig12Result:
+    """Sweep OSD crash rates and record the tail per cache configuration.
+
+    All configurations replay the *same* seeded trace under the *same*
+    seeded fault schedule, so the only varying factor per crash rate is
+    the cache; ``crash_rate`` is per OSD per second and ``downtime_ms``
+    the repair time, so ``crash_rate * downtime_ms / 1000`` is each OSD's
+    expected unavailability fraction.
+    """
+    arrival_rates = aggregate_rate_to_per_object(aggregate_rate, num_objects)
+    config = ClusterConfig(
+        object_size_mb=object_size_mb,
+        cache_capacity_mb=cache_capacity_mb,
+        seed=seed,
+    )
+    trace = ReplayTrace.from_rates(arrival_rates, duration_s, seed=seed + 101)
+
+    allocation: Optional[Dict[str, int]] = None
+    if "functional" in policies:
+        from repro.cluster.cluster import CephLikeCluster
+
+        model = _analytical_model(CephLikeCluster(config), arrival_rates, config)
+        placement = CacheOptimizer(model, tolerance=tolerance).optimize().placement
+        allocation = placement.cached_chunks()
+
+    def resolve(policy: str):
+        if policy == "functional":
+
+            def factory(capacity, chunks_per_file):
+                return StaticFunctionalPolicy(
+                    capacity, chunks_per_file, allocation=allocation
+                )
+
+            return factory
+        if policy == "static":
+            return lambda capacity, chunks_per_file: StaticFunctionalPolicy(
+                capacity, chunks_per_file
+            )
+        return policy
+
+    replays = {
+        policy: ClusterReplay(config, sorted(arrival_rates), policy=resolve(policy))
+        for policy in policies
+    }
+    result = Fig12Result(
+        crash_rates=tuple(crash_rates),
+        policies=tuple(policies),
+        num_objects=num_objects,
+        duration_s=duration_s,
+        downtime_ms=downtime_ms,
+    )
+    for crash_rate in crash_rates:
+        for policy in policies:
+            outcome = replays[policy].run(
+                trace,
+                engine=engine,
+                seed=seed + 1,
+                faults="osd_crash",
+                fault_params={
+                    "crash_rate": float(crash_rate),
+                    "downtime_ms": float(downtime_ms),
+                },
+            )
+            result.points.append(
+                TailPoint(
+                    crash_rate=float(crash_rate),
+                    policy=policy,
+                    mean_ms=outcome.mean_latency_ms(),
+                    p99_ms=outcome.percentile_ms(99.0),
+                    p999_ms=outcome.percentile_ms(99.9),
+                    served=outcome.served,
+                    degraded_reads=outcome.degraded_reads,
+                    failed_reads=outcome.failed_reads,
+                )
+            )
+    return result
+
+
+def format_result(result: Fig12Result) -> str:
+    """Render the tail-latency sweep as a per-crash-rate table."""
+    lines = [
+        "Fig. 12 -- tail latency vs OSD crash rate "
+        f"({result.num_objects} objects, {result.duration_s:.0f} s replay, "
+        f"downtime {result.downtime_ms / 1000.0:.0f} s)",
+        f"{'crash rate':>11} {'policy':>11} {'mean (ms)':>10} {'p99 (ms)':>10} "
+        f"{'p99.9 (ms)':>11} {'degraded':>9} {'failed':>7}",
+    ]
+    for crash_rate in result.crash_rates:
+        for point in result.points:
+            if point.crash_rate != crash_rate:
+                continue
+            lines.append(
+                f"{point.crash_rate:>11.1e} {point.policy:>11} "
+                f"{point.mean_ms:>10.1f} {point.p99_ms:>10.1f} "
+                f"{point.p999_ms:>11.1f} {point.degraded_reads:>9d} "
+                f"{point.failed_reads:>7d}"
+            )
+    for policy in result.policies:
+        lines.append(
+            f"p99 inflation ({policy}): {result.tail_inflation(policy):.2f}x "
+            "from healthy to the highest crash rate"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,171 @@
+"""Fig. 13: read-latency CDF healthy vs degraded vs repairing.
+
+One cluster state at a time, the same seeded trace three times:
+
+* **healthy** -- no faults; the reference CDF,
+* **degraded** -- a correlated ``degraded_read`` outage (an AZ or rack
+  down for the whole run): reads whose preferred chunks lived on the down
+  OSDs re-route through CRUSH to the survivors with the k-of-n repair
+  fan-out, so the CDF shifts right and grows a heavier tail,
+* **repairing** -- the same outage plus ``repair_traffic``: background
+  chunk reconstructions spliced into the surviving OSD queues as constant
+  service work, pushing the whole distribution further out (the classic
+  "repair storms hurt the tail" effect).
+
+Latencies are summarized as a fixed quantile grid per mode, i.e. the CDF
+sampled at those probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.api.experiments import register_experiment
+from repro.cluster.cluster import ClusterConfig
+from repro.cluster.replay import ClusterReplay, ReplayTrace
+from repro.faults import GeneratedFaultSchedule
+from repro.workloads.catalog import aggregate_rate_to_per_object
+
+#: CDF sample points (percentiles) reported per cluster state.
+QUANTILES = (10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9)
+
+
+@dataclass
+class LatencyCDF:
+    """The latency CDF of one cluster state, sampled at :data:`QUANTILES`."""
+
+    mode: str
+    quantiles: Sequence[float]
+    latencies_ms: List[float]
+    mean_ms: float
+    served: int
+    degraded_reads: int
+    failed_reads: int
+    repair_jobs: int
+
+    @property
+    def median_ms(self) -> float:
+        """The 50th-percentile latency."""
+        return self.latencies_ms[list(self.quantiles).index(50.0)]
+
+
+@dataclass
+class Fig13Result:
+    """One :class:`LatencyCDF` per cluster state (healthy first)."""
+
+    cdfs: List[LatencyCDF] = field(default_factory=list)
+    policy: str = "lru"
+    outage_fraction: float = 0.0
+    repair_rate: float = 0.0
+    num_objects: int = 0
+    duration_s: float = 0.0
+
+    def cdf(self, mode: str) -> LatencyCDF:
+        """The CDF of one mode (``healthy``/``degraded``/``repairing``)."""
+        for entry in self.cdfs:
+            if entry.mode == mode:
+                return entry
+        raise KeyError(mode)
+
+    def degradation(self, quantile: float = 99.0) -> float:
+        """Latency ratio degraded/healthy at one quantile."""
+        index = list(QUANTILES).index(quantile)
+        healthy = self.cdf("healthy").latencies_ms[index]
+        degraded = self.cdf("degraded").latencies_ms[index]
+        return degraded / healthy if healthy > 0 else 1.0
+
+
+@register_experiment(
+    "fig13",
+    title="Degraded-read latency CDF (Fig. 13)",
+    description="latency CDF healthy vs degraded vs repairing cluster",
+    scales={
+        "fast": {
+            "num_objects": 80,
+            "cache_capacity_mb": 1024,
+            "duration_s": 240.0,
+        }
+    },
+)
+def run(
+    num_objects: int = 200,
+    aggregate_rate: float = 4.0,
+    duration_s: float = 600.0,
+    cache_capacity_mb: int = 2 * 1024,
+    outage_fraction: float = 0.25,
+    repair_rate: float = 0.5,
+    object_size_mb: int = 64,
+    seed: int = 2016,
+    engine: str = "epoch",
+    policy: str = "lru",
+) -> Fig13Result:
+    """Replay the same trace against the three cluster states.
+
+    ``outage_fraction`` is the fraction of OSDs in the correlated outage;
+    ``repair_rate`` the background reconstruction arrival rate (jobs per
+    second across the cluster).  ``policy`` is any registered cache policy.
+    """
+    arrival_rates = aggregate_rate_to_per_object(aggregate_rate, num_objects)
+    config = ClusterConfig(
+        object_size_mb=object_size_mb,
+        cache_capacity_mb=cache_capacity_mb,
+        seed=seed,
+    )
+    trace = ReplayTrace.from_rates(arrival_rates, duration_s, seed=seed + 101)
+    replay = ClusterReplay(config, sorted(arrival_rates), policy=policy)
+
+    outage = GeneratedFaultSchedule(
+        "degraded_read", {"fraction": float(outage_fraction)}
+    )
+    repairs = GeneratedFaultSchedule("repair_traffic", {"rate": float(repair_rate)})
+    modes = (
+        ("healthy", None),
+        ("degraded", outage),
+        ("repairing", [outage, repairs]),
+    )
+    result = Fig13Result(
+        policy=policy,
+        outage_fraction=float(outage_fraction),
+        repair_rate=float(repair_rate),
+        num_objects=num_objects,
+        duration_s=duration_s,
+    )
+    for mode, faults in modes:
+        outcome = replay.run(trace, engine=engine, seed=seed + 1, faults=faults)
+        result.cdfs.append(
+            LatencyCDF(
+                mode=mode,
+                quantiles=QUANTILES,
+                latencies_ms=[outcome.percentile_ms(q) for q in QUANTILES],
+                mean_ms=outcome.mean_latency_ms(),
+                served=outcome.served,
+                degraded_reads=outcome.degraded_reads,
+                failed_reads=outcome.failed_reads,
+                repair_jobs=outcome.repair_jobs,
+            )
+        )
+    return result
+
+
+def format_result(result: Fig13Result) -> str:
+    """Render the three CDFs as a quantile table."""
+    lines = [
+        "Fig. 13 -- read-latency CDF, healthy vs degraded vs repairing "
+        f"(policy={result.policy}, outage={result.outage_fraction:.0%} of OSDs, "
+        f"repairs={result.repair_rate:g}/s, {result.duration_s:.0f} s replay)",
+        f"{'mode':>10} "
+        + " ".join(f"p{q:g}".rjust(9) for q in QUANTILES)
+        + f" {'mean':>9} {'degraded':>9} {'failed':>7} {'repairs':>8}",
+    ]
+    for cdf in result.cdfs:
+        lines.append(
+            f"{cdf.mode:>10} "
+            + " ".join(f"{value:>9.1f}" for value in cdf.latencies_ms)
+            + f" {cdf.mean_ms:>9.1f} {cdf.degraded_reads:>9d} "
+            f"{cdf.failed_reads:>7d} {cdf.repair_jobs:>8d}"
+        )
+    lines.append(
+        f"p99 degradation (degraded/healthy): {result.degradation(99.0):.2f}x"
+    )
+    return "\n".join(lines)

@@ -12,9 +12,12 @@ longer.  Uniform flags forwarded to every experiment that supports them:
 * ``--backend {numpy,...}`` -- select the kernel backend the run's
   queueing kernels compute in (``repro.api.list_kernel_backends()``),
 * ``--seed N`` -- override the experiment's root seed,
+* ``--fault NAME`` / ``--fault-param KEY=VALUE`` -- inject a registered
+  fault schedule into experiments that replay the emulated cluster
+  (``repro.api.list_faults()``),
 * ``--json`` -- emit the machine-readable result instead of the text report,
 * ``--list`` -- show every registered experiment, solver, engine, baseline,
-  kernel backend and workload.
+  kernel backend, fault generator and workload.
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ from repro.api.registry import (
     BASELINES,
     ENGINES,
     EXPERIMENTS as EXPERIMENT_REGISTRY,
+    FAULTS,
     KERNEL_BACKENDS,
     POLICIES,
     SOLVERS,
@@ -49,6 +53,8 @@ def run_experiment(
     seed: Optional[int] = None,
     workload: Optional[str] = None,
     workload_params: Optional[Dict[str, object]] = None,
+    faults: Optional[str] = None,
+    fault_params: Optional[Dict[str, object]] = None,
     as_json: bool = False,
 ) -> str:
     """Run one registered experiment and return its formatted report.
@@ -58,9 +64,11 @@ def run_experiment(
     ``None`` keeps the process default.  ``workload``/``workload_params``
     select a registered workload for experiments that take one (the
     ``scenario`` experiment; dropped otherwise, like ``engine``/``seed``).
-    With ``as_json=True`` the report is a JSON document carrying the full
-    typed result; otherwise it is the experiment's text rendering under a
-    timing header.
+    ``faults``/``fault_params`` inject a registered fault schedule into
+    experiments that replay the emulated cluster (same drop rule).  With
+    ``as_json=True`` the report is a JSON document carrying the full typed
+    result; otherwise it is the experiment's text rendering under a timing
+    header.
     """
     spec = EXPERIMENT_REGISTRY.get(name)
     started = time.time()
@@ -71,6 +79,8 @@ def run_experiment(
             seed=seed,
             workload=workload,
             workload_params=workload_params or None,
+            faults=faults,
+            fault_params=fault_params or None,
         )
     elapsed = time.time() - started
     if as_json:
@@ -93,25 +103,31 @@ def run_experiment(
     return f"{header}\n{spec.format(result)}\n"
 
 
-def parse_workload_params(pairs: Optional[list]) -> Dict[str, object]:
-    """Parse repeated ``KEY=VALUE`` flags into a workload-params dict.
+def parse_param_pairs(
+    pairs: Optional[list], flag: str = "--workload-param"
+) -> Dict[str, object]:
+    """Parse repeated ``KEY=VALUE`` flags into a parameter dict.
 
     Values are JSON-decoded when possible (``amplitude=0.5`` -> float,
     ``hot=[1,2]`` -> list) and kept as plain strings otherwise
-    (``path=trace.csv``).
+    (``path=trace.csv``).  ``flag`` only names the offending option in the
+    error message.
     """
     params: Dict[str, object] = {}
     for pair in pairs or []:
         key, separator, raw = pair.partition("=")
         if not separator or not key:
-            raise ValueError(
-                f"--workload-param expects KEY=VALUE, got {pair!r}"
-            )
+            raise ValueError(f"{flag} expects KEY=VALUE, got {pair!r}")
         try:
             params[key] = json.loads(raw)
         except json.JSONDecodeError:
             params[key] = raw
     return params
+
+
+def parse_workload_params(pairs: Optional[list]) -> Dict[str, object]:
+    """Parse repeated ``--workload-param KEY=VALUE`` flags (see above)."""
+    return parse_param_pairs(pairs, "--workload-param")
 
 
 def _section_lines(entries) -> list:
@@ -151,6 +167,7 @@ def format_listing() -> str:
         ("kernel backends", KERNEL_BACKENDS),
         ("baselines", BASELINES),
         ("cache policies", POLICIES),
+        ("fault generators", FAULTS),
     )
     for label, registry in sections:
         lines.append("")
@@ -229,6 +246,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--workload-param path=trace.csv --workload-param amplitude=0.5",
     )
     parser.add_argument(
+        "--fault",
+        choices=FAULTS.names(),
+        default=None,
+        dest="faults",
+        help="registered fault schedule injected into experiments that "
+        "replay the emulated cluster (the 'scenario', 'fig12' and "
+        "'fig13' experiments)",
+    )
+    parser.add_argument(
+        "--fault-param",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        dest="fault_params",
+        help="fault generator parameter (repeatable); values are parsed "
+        "as JSON with plain-string fallback, e.g. "
+        "--fault-param crash_rate=1e-4 --fault-param downtime_ms=30000",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         dest="as_json",
@@ -239,7 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="list_components",
         help="list every registered experiment, solver, engine, kernel "
-        "backend, baseline and workload",
+        "backend, baseline, cache policy, fault generator and workload",
     )
     return parser
 
@@ -255,6 +291,7 @@ def main(argv=None) -> int:
         parser.error("an experiment name (or 'all', or --list) is required")
     try:
         workload_params = parse_workload_params(args.workload_params)
+        fault_params = parse_param_pairs(args.fault_params, "--fault-param")
     except ValueError as error:
         parser.error(str(error))
     names = EXPERIMENT_REGISTRY.names() if args.experiment == "all" else [args.experiment]
@@ -267,6 +304,8 @@ def main(argv=None) -> int:
             seed=args.seed,
             workload=args.workload,
             workload_params=workload_params,
+            faults=args.faults,
+            fault_params=fault_params,
             as_json=args.as_json,
         )
         for name in names

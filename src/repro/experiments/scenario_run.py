@@ -10,6 +10,12 @@ optimize -> schedule -> simulate pipeline::
 
     python -m repro.experiments scenario --workload trace \
         --workload-param path=trace.csv --workload-param schema=cdn
+
+Fault schedules ride along the same way (``--fault`` /
+``--fault-param key=value``) and add a fault-aware cluster-replay stage::
+
+    python -m repro.experiments scenario --fault osd_crash \
+        --fault-param crash_rate=1e-4
 """
 
 from __future__ import annotations
@@ -34,6 +40,8 @@ def run(
     cache_capacity: int = 50,
     engine: Optional[str] = None,
     seed: Optional[int] = None,
+    faults: Optional[str] = None,
+    fault_params: Optional[Mapping[str, Any]] = None,
     scale: str = "fast",
 ) -> Dict[str, Any]:
     """Run one scenario and return its JSON-safe result payload."""
@@ -49,6 +57,10 @@ def run(
         fields["engine"] = engine
     if seed is not None:
         fields["seed"] = seed
+    if faults is not None:
+        fields["faults"] = faults
+        if fault_params:
+            fields["fault_params"] = dict(fault_params)
     result = run_scenario(Scenario(**fields))
     payload = result.to_dict()
     payload["summary"] = result.summary()

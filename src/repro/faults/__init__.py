@@ -1,0 +1,30 @@
+"""Fault schedules: failures and degradation as first-class replay events.
+
+See :mod:`repro.faults.base` for the schedule/timeline abstractions and
+:mod:`repro.faults.generators` for the built-in seeded generators
+(``osd_crash``, ``degraded_read``, ``straggler``, ``repair_traffic``).
+"""
+
+from repro.faults.base import (
+    CompositeFaultSchedule,
+    FaultSchedule,
+    FaultTimeline,
+    FaultWindow,
+    GeneratedFaultSchedule,
+    as_fault_schedule,
+    compile_fault_schedule,
+    merge_timelines,
+    timeline_from_windows,
+)
+
+__all__ = [
+    "CompositeFaultSchedule",
+    "FaultSchedule",
+    "FaultTimeline",
+    "FaultWindow",
+    "GeneratedFaultSchedule",
+    "as_fault_schedule",
+    "compile_fault_schedule",
+    "merge_timelines",
+    "timeline_from_windows",
+]

@@ -1,0 +1,221 @@
+"""Built-in seeded fault-schedule generators.
+
+Each generator is a callable
+``(num_osds, horizon_ms, rng, service_ms, *, param=..., ...)`` returning a
+compiled :class:`~repro.faults.base.FaultTimeline`, registered in the
+``FAULTS`` registry via :func:`repro.api.register_fault` so it can be
+selected by name through ``Scenario(faults=..., fault_params=...)`` or the
+``--fault``/``--fault-param`` CLI flags.  All randomness flows through the
+seeded ``rng`` the caller provides; the same seed always reproduces the
+same timeline, which is what lets the seeded engine-equivalence tests in
+``tests/faults`` pin the epoch and request engines to each other under
+failure.
+
+Rates are per **second** (trace times are milliseconds); a schedule with
+``crash_rate * downtime_ms / 1000 == 0.01`` keeps each OSD down for ~1% of
+the horizon in expectation -- the "1%-crash schedule" the
+``BENCH_degraded_replay.json`` gate runs under.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.api.registry import register_fault
+from repro.exceptions import FaultError
+from repro.faults.base import FaultTimeline, FaultWindow, timeline_from_windows
+
+__all__ = [
+    "build_osd_crash",
+    "build_degraded_read",
+    "build_straggler",
+    "build_repair_traffic",
+]
+
+#: Fallback constant service time (ms) for repair jobs when the caller does
+#: not provide the replay's nominal chunk service time: the Table-IV mean
+#: for 16 MB chunks (the default 64 MB object under a (7, 4) code).
+DEFAULT_REPAIR_SERVICE_MS = 147.8462
+
+
+def _resolve_osds(
+    osds: Optional[Sequence[int]],
+    fraction: Optional[float],
+    num_osds: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """The OSD subset a fault applies to: explicit list, else seeded draw."""
+    if osds is not None:
+        chosen = np.asarray(list(osds), dtype=np.int64)
+        if chosen.size and (chosen.min() < 0 or chosen.max() >= num_osds):
+            raise FaultError(
+                f"osds must lie in [0, {num_osds}), got {sorted(set(chosen.tolist()))}"
+            )
+        if np.unique(chosen).size != chosen.size:
+            raise FaultError("osds must not repeat")
+        return chosen
+    if fraction is None:
+        return np.arange(num_osds, dtype=np.int64)
+    if not 0.0 <= fraction <= 1.0:
+        raise FaultError(f"fraction must lie in [0, 1], got {fraction}")
+    count = int(round(fraction * num_osds))
+    return np.sort(rng.choice(num_osds, size=count, replace=False).astype(np.int64))
+
+
+def _poisson_times(
+    rng: np.random.Generator, rate_per_s: float, horizon_ms: float
+) -> np.ndarray:
+    """Sorted arrival instants of a Poisson process over ``[0, horizon_ms)``."""
+    if rate_per_s < 0:
+        raise FaultError(f"rate must be non-negative, got {rate_per_s}")
+    expected = rate_per_s * horizon_ms / 1000.0
+    if expected <= 0:
+        return np.empty(0, dtype=float)
+    count = int(rng.poisson(expected))
+    return np.sort(rng.uniform(0.0, horizon_ms, size=count))
+
+
+@register_fault(
+    "osd_crash",
+    description="Poisson OSD crashes, each followed by a fixed downtime window",
+)
+def build_osd_crash(
+    num_osds: int,
+    horizon_ms: float,
+    rng: np.random.Generator,
+    service_ms: Optional[float] = None,
+    *,
+    crash_rate: float = 1e-5,
+    downtime_ms: float = 60_000.0,
+    osds: Optional[Sequence[int]] = None,
+) -> FaultTimeline:
+    """Independent Poisson crash processes per OSD.
+
+    Each affected OSD crashes at rate ``crash_rate`` (crashes per second)
+    and stays down for ``downtime_ms`` after every crash; overlapping
+    windows simply merge.  Expected unavailability per OSD is
+    ``crash_rate * downtime_ms / 1000`` (so ``1e-5`` with a 1000 s
+    downtime is a 1% duty cycle).
+    """
+    if downtime_ms <= 0:
+        raise FaultError(f"downtime_ms must be positive, got {downtime_ms}")
+    targets = _resolve_osds(osds, None, num_osds, rng)
+    windows = []
+    for osd in targets.tolist():
+        for start in _poisson_times(rng, crash_rate, horizon_ms):
+            windows.append(FaultWindow("down", osd, start, start + downtime_ms))
+    return timeline_from_windows(windows, num_osds, horizon_ms, label="osd_crash")
+
+
+@register_fault(
+    "degraded_read",
+    description="an outage window (AZ / failure-domain) forcing k-of-n repair reads",
+)
+def build_degraded_read(
+    num_osds: int,
+    horizon_ms: float,
+    rng: np.random.Generator,
+    service_ms: Optional[float] = None,
+    *,
+    fraction: float = 0.25,
+    osds: Optional[Sequence[int]] = None,
+    start_ms: float = 0.0,
+    duration_ms: Optional[float] = None,
+) -> FaultTimeline:
+    """A correlated outage: a set of OSDs goes dark for one window.
+
+    ``fraction`` of the cluster (or the explicit ``osds`` list, e.g. one
+    availability zone's worth) is down during
+    ``[start_ms, start_ms + duration_ms)`` (``duration_ms=None`` runs to
+    the end of the horizon).  Reads whose preferred chunks lived there
+    degrade to k-of-n repair reads against the surviving placement OSDs.
+    """
+    if duration_ms is not None and duration_ms <= 0:
+        raise FaultError(f"duration_ms must be positive, got {duration_ms}")
+    targets = _resolve_osds(osds, fraction, num_osds, rng)
+    end_ms = horizon_ms if duration_ms is None else start_ms + duration_ms
+    windows = [
+        FaultWindow("down", osd, start_ms, end_ms)
+        for osd in targets.tolist()
+        if start_ms < end_ms
+    ]
+    return timeline_from_windows(windows, num_osds, horizon_ms, label="degraded_read")
+
+
+@register_fault(
+    "straggler",
+    description="slow OSDs whose chunk service times are scaled by a multiplier",
+)
+def build_straggler(
+    num_osds: int,
+    horizon_ms: float,
+    rng: np.random.Generator,
+    service_ms: Optional[float] = None,
+    *,
+    fraction: float = 0.25,
+    slowdown: float = 4.0,
+    osds: Optional[Sequence[int]] = None,
+    start_ms: float = 0.0,
+    duration_ms: Optional[float] = None,
+) -> FaultTimeline:
+    """Stragglers: a subset of OSDs serves chunks ``slowdown`` times slower.
+
+    The multiplier rides the per-OSD straggler lane of the grouped Lindley
+    kernels, so a single slow OSD inflates exactly the fork-join legs that
+    touch it.  ``fraction``/``osds`` select the subset; the window defaults
+    to the whole horizon.
+    """
+    if slowdown <= 0:
+        raise FaultError(f"slowdown must be positive, got {slowdown}")
+    if duration_ms is not None and duration_ms <= 0:
+        raise FaultError(f"duration_ms must be positive, got {duration_ms}")
+    targets = _resolve_osds(osds, fraction, num_osds, rng)
+    end_ms = horizon_ms if duration_ms is None else start_ms + duration_ms
+    windows = [
+        FaultWindow("slow", osd, start_ms, end_ms, factor=slowdown)
+        for osd in targets.tolist()
+        if start_ms < end_ms
+    ]
+    return timeline_from_windows(windows, num_osds, horizon_ms, label="straggler")
+
+
+@register_fault(
+    "repair_traffic",
+    description="background repair reads competing with foreground chunk fetches",
+)
+def build_repair_traffic(
+    num_osds: int,
+    horizon_ms: float,
+    rng: np.random.Generator,
+    service_ms: Optional[float] = None,
+    *,
+    rate: float = 1.0,
+    service_scale: float = 1.0,
+    osds: Optional[Sequence[int]] = None,
+) -> FaultTimeline:
+    """A Poisson stream of background repair jobs across the cluster.
+
+    ``rate`` is the aggregate arrival rate (jobs per second), spread
+    uniformly over the affected OSDs; each job occupies its OSD's FIFO
+    queue for a constant ``service_scale`` times the nominal chunk service
+    time (the replay passes its HDD mean as ``service_ms``), delaying any
+    foreground chunk fetch queued behind it.
+    """
+    if service_scale <= 0:
+        raise FaultError(f"service_scale must be positive, got {service_scale}")
+    targets = _resolve_osds(osds, None, num_osds, rng)
+    if targets.size == 0:
+        raise FaultError("repair_traffic needs at least one OSD")
+    times = _poisson_times(rng, rate, horizon_ms)
+    job_osds = targets[rng.integers(0, targets.size, size=times.size)]
+    base_service = DEFAULT_REPAIR_SERVICE_MS if service_ms is None else float(service_ms)
+    services = np.full(times.size, base_service * service_scale, dtype=float)
+    return FaultTimeline(
+        num_osds=num_osds,
+        repair_times_ms=times,
+        repair_osds=job_osds,
+        repair_services_ms=services,
+        label="repair_traffic",
+    )

@@ -148,7 +148,12 @@ class TestRegistries:
         assert set(list_policies()) == {"lru", "lfu", "arc", "ttl", "functional_static"}
         assert set(list_experiments()) == {
             "fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10", "fig11",
-            "tables", "scenario",
+            "fig12", "fig13", "tables", "scenario",
+        }
+        from repro.api import list_faults
+
+        assert set(list_faults()) == {
+            "osd_crash", "degraded_read", "straggler", "repair_traffic",
         }
 
     def test_lookups_return_specs(self):

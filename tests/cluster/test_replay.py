@@ -10,6 +10,8 @@ identically -- a cross-check that the refactor preserved the emulation.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -193,8 +195,30 @@ class TestDegenerateConfigurations:
         replay = ClusterReplay(config, ["obj-0"], policy="lru")
         result = replay.run(trace, engine="epoch", seed=3)
         assert result.reads == 0 and result.hit_ratio == 0.0
-        with pytest.raises(ClusterError):
-            result.mean_latency_ms()
+        # Documented contract: an empty latency population yields nan.
+        assert math.isnan(result.mean_latency_ms())
+        assert math.isnan(result.percentile_ms(99.0))
+
+    def test_trace_validation_rejects_corrupt_inputs(self):
+        ids = ["obj-0", "obj-1"]
+        good = dict(
+            times_ms=np.asarray([1.0, 2.0]),
+            object_positions=np.asarray([0, 1]),
+            object_ids=ids,
+        )
+        ReplayTrace(**good)  # sanity: the healthy shape constructs
+        with pytest.raises(ClusterError, match="non-negative"):
+            ReplayTrace(**{**good, "times_ms": np.asarray([-1.0, 2.0])})
+        with pytest.raises(ClusterError, match="sorted"):
+            ReplayTrace(**{**good, "times_ms": np.asarray([2.0, 1.0])})
+        with pytest.raises(ClusterError, match="finite"):
+            ReplayTrace(**{**good, "times_ms": np.asarray([1.0, np.nan])})
+        with pytest.raises(ClusterError, match="exactly one"):
+            ReplayTrace(**{**good, "object_positions": np.asarray([0])})
+        with pytest.raises(ClusterError, match="index object_ids"):
+            ReplayTrace(**{**good, "object_positions": np.asarray([0, 5])})
+        with pytest.raises(ClusterError, match="index object_ids"):
+            ReplayTrace(**{**good, "object_positions": np.asarray([-1, 0])})
 
     def test_validation(self):
         rates = zipf_rates(5, 1.0, 1.0)

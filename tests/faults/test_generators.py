@@ -1,0 +1,232 @@
+"""Tests of the fault-schedule layer: windows, timelines, generators, registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.registry import FAULTS, get_fault, list_faults
+from repro.exceptions import FaultError, ScenarioError
+from repro.faults import (
+    CompositeFaultSchedule,
+    FaultTimeline,
+    FaultWindow,
+    GeneratedFaultSchedule,
+    as_fault_schedule,
+    compile_fault_schedule,
+    merge_timelines,
+    timeline_from_windows,
+)
+
+
+class TestFaultWindow:
+    def test_validation(self):
+        with pytest.raises(FaultError, match="kind"):
+            FaultWindow("sideways", 0, 0.0, 1.0)
+        with pytest.raises(FaultError, match="start < end"):
+            FaultWindow("down", 0, 5.0, 5.0)
+        with pytest.raises(FaultError, match="non-negative"):
+            FaultWindow("down", -1, 0.0, 1.0)
+        with pytest.raises(FaultError, match="factor"):
+            FaultWindow("slow", 0, 0.0, 1.0, factor=0.0)
+
+
+class TestTimelineFromWindows:
+    def test_piecewise_state(self):
+        timeline = timeline_from_windows(
+            [
+                FaultWindow("down", 0, 100.0, 200.0),
+                FaultWindow("slow", 1, 150.0, 250.0, factor=3.0),
+            ],
+            num_osds=3,
+            horizon_ms=1000.0,
+        )
+        assert timeline.boundaries_ms.tolist() == [100.0, 150.0, 200.0, 250.0]
+        assert timeline.num_intervals == 5
+        assert not timeline.down_at(50.0).any()
+        assert timeline.down_at(120.0)[0] and not timeline.down_at(120.0)[1]
+        assert timeline.slow_at(180.0)[1] == 3.0
+        assert timeline.down_at(180.0)[0]
+        assert not timeline.down_at(220.0)[0]
+        assert timeline.slow_at(220.0)[1] == 3.0
+        assert timeline.slow_at(300.0)[1] == 1.0
+        assert not timeline.trivial
+
+    def test_window_clipped_to_horizon(self):
+        timeline = timeline_from_windows(
+            [FaultWindow("down", 0, 500.0, 2000.0)], num_osds=2, horizon_ms=1000.0
+        )
+        # The end edge is outside the horizon, so only the start remains.
+        assert timeline.boundaries_ms.tolist() == [500.0]
+        assert timeline.down_at(900.0)[0]
+
+    def test_window_outside_horizon_is_dropped(self):
+        timeline = timeline_from_windows(
+            [FaultWindow("down", 0, 5000.0, 6000.0)], num_osds=2, horizon_ms=1000.0
+        )
+        assert timeline.trivial
+        assert timeline.num_intervals == 1
+
+    def test_rejects_unknown_osd(self):
+        with pytest.raises(FaultError, match="cluster has 2"):
+            timeline_from_windows(
+                [FaultWindow("down", 7, 0.0, 1.0)], num_osds=2, horizon_ms=10.0
+            )
+
+
+class TestMergeTimelines:
+    def test_masks_or_slow_multiplies_repairs_merge(self):
+        down = timeline_from_windows(
+            [FaultWindow("down", 0, 100.0, 200.0)], num_osds=2, horizon_ms=1000.0
+        )
+        slow = timeline_from_windows(
+            [FaultWindow("slow", 0, 150.0, 300.0, factor=2.0)],
+            num_osds=2,
+            horizon_ms=1000.0,
+        )
+        repairs = FaultTimeline(
+            num_osds=2,
+            repair_times_ms=np.asarray([50.0, 400.0]),
+            repair_osds=np.asarray([1, 0]),
+            repair_services_ms=np.asarray([10.0, 10.0]),
+        )
+        merged = merge_timelines([down, slow, repairs])
+        assert merged.boundaries_ms.tolist() == [100.0, 150.0, 200.0, 300.0]
+        assert merged.down_at(175.0)[0] and merged.slow_at(175.0)[0] == 2.0
+        assert merged.slow_at(250.0)[0] == 2.0 and not merged.down_at(250.0)[0]
+        assert merged.repair_times_ms.tolist() == [50.0, 400.0]
+
+    def test_width_mismatch_rejected(self):
+        a = FaultTimeline(num_osds=2)
+        b = FaultTimeline(num_osds=3)
+        with pytest.raises(FaultError, match="different cluster widths"):
+            merge_timelines([a, b])
+
+
+class TestRegistry:
+    def test_builtin_generators_registered(self):
+        names = list_faults()
+        for name in ("osd_crash", "degraded_read", "straggler", "repair_traffic"):
+            assert name in names
+
+    def test_accepted_params_introspection(self):
+        spec = get_fault("osd_crash")
+        accepted = spec.accepted_params()
+        assert "crash_rate" in accepted and "downtime_ms" in accepted
+        # The positional machinery (num_osds, horizon_ms, rng, service_ms)
+        # is not a user parameter.
+        assert "rng" not in accepted and "num_osds" not in accepted
+
+    def test_validate_params_rejects_unknown(self):
+        with pytest.raises(ScenarioError, match="crash_rate"):
+            FAULTS.get("osd_crash").validate_params({"typo_rate": 1.0})
+
+
+class TestGeneratedSchedules:
+    def test_unknown_generator_fails_eagerly(self):
+        with pytest.raises(Exception, match="no_such_fault"):
+            GeneratedFaultSchedule("no_such_fault")
+
+    def test_unknown_param_fails_eagerly(self):
+        with pytest.raises(ScenarioError):
+            GeneratedFaultSchedule("straggler", {"warp": 9})
+
+    def test_same_seed_same_timeline(self):
+        schedule = GeneratedFaultSchedule("osd_crash", {"crash_rate": 1e-3})
+        a = schedule.compile(12, 500_000.0, seed=42)
+        b = schedule.compile(12, 500_000.0, seed=42)
+        np.testing.assert_array_equal(a.boundaries_ms, b.boundaries_ms)
+        np.testing.assert_array_equal(a.down, b.down)
+        c = schedule.compile(12, 500_000.0, seed=43)
+        assert not np.array_equal(a.boundaries_ms, c.boundaries_ms)
+
+    def test_osd_crash_duty_cycle(self):
+        schedule = GeneratedFaultSchedule(
+            "osd_crash", {"crash_rate": 1e-3, "downtime_ms": 10_000.0}
+        )
+        timeline = schedule.compile(4, 1_000_000.0, seed=0)
+        # 1e-3 crashes/s * 10 s downtime = ~1% duty cycle per OSD; sample
+        # the availability on a grid and allow generous Poisson noise.
+        grid = np.linspace(0.0, 1_000_000.0, 2001, endpoint=False)
+        rows = timeline.interval_of(grid)
+        down_fraction = timeline.down[rows].mean()
+        assert 0.001 < down_fraction < 0.05
+
+    def test_degraded_read_explicit_osds_window(self):
+        schedule = GeneratedFaultSchedule(
+            "degraded_read",
+            {"osds": [1, 3], "start_ms": 100.0, "duration_ms": 200.0},
+        )
+        timeline = schedule.compile(6, 1000.0, seed=0)
+        assert timeline.down_at(150.0).tolist() == [False, True, False, True, False, False]
+        assert not timeline.down_at(350.0).any()
+
+    def test_straggler_multiplier(self):
+        schedule = GeneratedFaultSchedule("straggler", {"osds": [2], "slowdown": 5.0})
+        timeline = schedule.compile(4, 1000.0, seed=0)
+        assert timeline.slow_at(500.0).tolist() == [1.0, 1.0, 5.0, 1.0]
+        assert not timeline.down.any()
+
+    def test_repair_traffic_uses_service_ms(self):
+        schedule = GeneratedFaultSchedule("repair_traffic", {"rate": 50.0})
+        timeline = schedule.compile(4, 100_000.0, seed=0, service_ms=10.0)
+        assert timeline.repair_times_ms.size > 0
+        assert np.all(timeline.repair_services_ms == 10.0)
+        assert np.all(np.diff(timeline.repair_times_ms) >= 0)
+        assert timeline.repair_osds.min() >= 0
+        assert timeline.repair_osds.max() < 4
+
+    def test_zero_rate_is_trivial(self):
+        crash = GeneratedFaultSchedule("osd_crash", {"crash_rate": 0.0})
+        assert crash.compile(4, 1000.0, seed=0).trivial
+        repair = GeneratedFaultSchedule("repair_traffic", {"rate": 0.0})
+        assert repair.compile(4, 1000.0, seed=0).trivial
+
+
+class TestComposition:
+    def test_composite_compiles_all_parts(self):
+        composite = CompositeFaultSchedule(
+            (
+                GeneratedFaultSchedule("degraded_read", {"osds": [0]}),
+                GeneratedFaultSchedule("repair_traffic", {"rate": 20.0}),
+            )
+        )
+        assert composite.label == "degraded_read+repair_traffic"
+        timeline = composite.compile(4, 100_000.0, seed=1)
+        assert timeline.down_at(50.0)[0]
+        assert timeline.repair_times_ms.size > 0
+
+    def test_composite_is_seed_stable(self):
+        composite = CompositeFaultSchedule(("osd_crash", "repair_traffic"))
+        a = composite.compile(6, 200_000.0, seed=9)
+        b = composite.compile(6, 200_000.0, seed=9)
+        np.testing.assert_array_equal(a.down, b.down)
+        np.testing.assert_array_equal(a.repair_times_ms, b.repair_times_ms)
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(FaultError, match="at least one part"):
+            CompositeFaultSchedule(())
+
+
+class TestCoercion:
+    def test_none_stays_none(self):
+        assert as_fault_schedule(None) is None
+        assert compile_fault_schedule(None, num_osds=4, horizon_ms=100.0) is None
+
+    def test_params_without_schedule_rejected(self):
+        with pytest.raises(FaultError, match="without a fault schedule"):
+            as_fault_schedule(None, {"crash_rate": 1.0})
+
+    def test_params_on_non_name_rejected(self):
+        timeline = FaultTimeline(num_osds=2)
+        with pytest.raises(FaultError, match="only apply to a registered"):
+            as_fault_schedule(timeline, {"crash_rate": 1.0})
+
+    def test_sequence_becomes_composite(self):
+        schedule = as_fault_schedule(["osd_crash", "straggler"])
+        assert isinstance(schedule, CompositeFaultSchedule)
+
+    def test_timeline_width_checked_at_compile(self):
+        timeline = FaultTimeline(num_osds=2)
+        with pytest.raises(FaultError, match="compiled for 2"):
+            compile_fault_schedule(timeline, num_osds=5, horizon_ms=10.0)
