@@ -51,7 +51,7 @@ from repro.api.registry import (
 )
 from repro.policies import ChunkCachingPolicy
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # facade

@@ -38,6 +38,7 @@ from repro.api.experiments import (
 )
 from repro.api.registry import (
     BASELINES,
+    CONTROLLERS,
     ENGINES,
     EXPERIMENTS,
     FAULTS,
@@ -46,6 +47,7 @@ from repro.api.registry import (
     SOLVERS,
     WORKLOADS,
     BaselineSpec,
+    ControllerSpec,
     EngineSpec,
     FaultSpec,
     KernelBackendSpec,
@@ -54,6 +56,7 @@ from repro.api.registry import (
     SolverSpec,
     WorkloadSpec,
     get_baseline,
+    get_controller,
     get_engine,
     get_fault,
     get_kernel_backend_spec,
@@ -61,6 +64,7 @@ from repro.api.registry import (
     get_solver,
     get_workload,
     list_baselines,
+    list_controllers,
     list_engines,
     list_experiments,
     list_faults,
@@ -69,6 +73,7 @@ from repro.api.registry import (
     list_solvers,
     list_workloads,
     register_baseline,
+    register_controller,
     register_engine,
     register_fault,
     register_kernel_backend,
@@ -102,6 +107,7 @@ __all__ = [
     "WorkloadSpec",
     "PolicySpec",
     "FaultSpec",
+    "ControllerSpec",
     "KernelBackendSpec",
     "SOLVERS",
     "ENGINES",
@@ -109,6 +115,7 @@ __all__ = [
     "WORKLOADS",
     "POLICIES",
     "FAULTS",
+    "CONTROLLERS",
     "KERNEL_BACKENDS",
     "EXPERIMENTS",
     "register_solver",
@@ -117,6 +124,7 @@ __all__ = [
     "register_workload",
     "register_policy",
     "register_fault",
+    "register_controller",
     "register_kernel_backend",
     "get_solver",
     "get_engine",
@@ -124,6 +132,7 @@ __all__ = [
     "get_workload",
     "get_policy",
     "get_fault",
+    "get_controller",
     "get_kernel_backend_spec",
     "list_solvers",
     "list_engines",
@@ -131,6 +140,7 @@ __all__ = [
     "list_workloads",
     "list_policies",
     "list_faults",
+    "list_controllers",
     "list_kernel_backends",
     # serialization
     "to_jsonable",

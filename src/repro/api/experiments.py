@@ -99,6 +99,8 @@ class ExperimentSpec:
         "workload_params",
         "faults",
         "fault_params",
+        "controller",
+        "controller_params",
     )
 
     def run(self, scale: str = "fast", **overrides: Any) -> Any:

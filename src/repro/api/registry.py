@@ -339,6 +339,63 @@ class FaultSpec:
 
 
 @dataclass(frozen=True)
+class ControllerSpec:
+    """An online re-optimization controller for the control subsystem.
+
+    ``build(model, **params)`` must return a
+    :class:`~repro.control.controller.OnlineController` (or subclass) bound
+    to the given :class:`~repro.core.model.StorageSystemModel`.  The
+    keyword names after ``model`` become the accepted
+    ``controller_params``, validated eagerly at :class:`Scenario`
+    construction.
+    """
+
+    name: str
+    description: str
+    build: Callable[..., Any]
+
+    def accepted_params(self) -> Optional[Tuple[str, ...]]:
+        """The ``controller_params`` names the builder accepts (``None`` = any)."""
+        import inspect
+
+        try:
+            signature = inspect.signature(self.build)
+        except (TypeError, ValueError):  # builtins / C callables
+            return None
+        parameters = list(signature.parameters.values())
+        if any(
+            parameter.kind is inspect.Parameter.VAR_KEYWORD
+            for parameter in parameters
+        ):
+            return None
+        return tuple(
+            parameter.name
+            for parameter in parameters[1:]
+            if parameter.kind
+            in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            )
+        )
+
+    def validate_params(self, params: Any) -> None:
+        """Fail fast on ``controller_params`` the builder does not accept."""
+        if not params:
+            return
+        accepted = self.accepted_params()
+        if accepted is None:
+            return
+        unknown = sorted(set(params) - set(accepted))
+        if unknown:
+            from repro.exceptions import ScenarioError
+
+            raise ScenarioError(
+                f"controller {self.name!r} does not accept controller_params "
+                f"{unknown}; accepted parameters: {sorted(accepted) or '<none>'}"
+            )
+
+
+@dataclass(frozen=True)
 class KernelBackendSpec:
     """An array-API kernel backend for :mod:`repro.kernels`.
 
@@ -385,6 +442,12 @@ def _import_fault_generators() -> None:
     importlib.import_module("repro.faults.generators")
 
 
+def _import_controllers() -> None:
+    # The built-in controllers register themselves on import; lazy so
+    # repro.control can import repro.api.registry without a cycle.
+    importlib.import_module("repro.control.builtins")
+
+
 SOLVERS: Registry[SolverSpec] = Registry("solver")
 ENGINES: Registry[EngineSpec] = Registry("engine")
 BASELINES: Registry[BaselineSpec] = Registry("baseline")
@@ -392,6 +455,7 @@ WORKLOADS: Registry[WorkloadSpec] = Registry("workload")
 POLICIES: Registry[PolicySpec] = Registry("cache policy", plural="cache policies")
 KERNEL_BACKENDS: Registry[KernelBackendSpec] = Registry("kernel backend")
 FAULTS: Registry[FaultSpec] = Registry("fault generator", populate=_import_fault_generators)
+CONTROLLERS: Registry[ControllerSpec] = Registry("controller", populate=_import_controllers)
 EXPERIMENTS: Registry[Any] = Registry("experiment", populate=_import_experiment_modules)
 
 
@@ -522,6 +586,32 @@ def register_fault(name: str, description: str = "") -> Callable[[Callable[..., 
     return decorate
 
 
+def register_controller(name: str, description: str = "") -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Register an online-controller builder for the control subsystem.
+
+    The decorated callable must accept ``(model, *, param=..., ...)`` and
+    return a :class:`~repro.control.controller.OnlineController` (or
+    subclass).  Registered controllers become valid
+    ``Scenario(controller=...)`` values and ``--controller`` choices on the
+    experiments CLI::
+
+        from repro.api import register_controller
+        from repro.control import OnlineController
+
+        @register_controller("eager", description="hair-trigger drift controller")
+        def build_eager(model, *, window=120.0):
+            return OnlineController(model, window=window, change_threshold=0.1)
+    """
+
+    def decorate(func: Callable[..., Any]) -> Callable[..., Any]:
+        CONTROLLERS.register(
+            name, ControllerSpec(name=name, description=description or _first_doc_line(func), build=func)
+        )
+        return func
+
+    return decorate
+
+
 def register_kernel_backend(name: str, description: str = "") -> Callable[[Callable[[], Any]], Callable[[], Any]]:
     """Register a kernel-backend loader for :mod:`repro.kernels`.
 
@@ -616,6 +706,16 @@ def get_fault(name: str) -> FaultSpec:
 def list_faults() -> List[str]:
     """Names of the registered fault generators."""
     return FAULTS.names()
+
+
+def get_controller(name: str) -> ControllerSpec:
+    """Look up a registered controller."""
+    return CONTROLLERS.get(name)
+
+
+def list_controllers() -> List[str]:
+    """Names of the registered controllers."""
+    return CONTROLLERS.names()
 
 
 def get_kernel_backend_spec(name: str) -> KernelBackendSpec:

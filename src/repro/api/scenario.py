@@ -19,6 +19,7 @@ from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple
 
 from repro.api.registry import (
     BASELINES,
+    CONTROLLERS,
     ENGINES,
     FAULTS,
     KERNEL_BACKENDS,
@@ -93,6 +94,19 @@ class Scenario:
         Keyword parameters for the fault generator (e.g. ``crash_rate``,
         ``downtime_ms`` for ``osd_crash``); validated eagerly against the
         generator's signature, only valid together with ``faults``.
+    controller:
+        Optional registered online-controller name
+        (``repro.api.list_controllers()``: ``online``, ``cold``,
+        ``periodic``, ...).  When set, the session samples the workload's
+        request stream and drives it through the controller -- streaming
+        drift detection, warm re-solves, bounded-churn swaps -- landing a
+        :class:`~repro.control.controller.ControlResult` on the run;
+        ``None`` (default) skips the control stage.
+    controller_params:
+        Keyword parameters for the controller builder (e.g. ``window``,
+        ``change_threshold``, ``churn_budget`` for ``online``); validated
+        eagerly against the builder's signature, only valid together with
+        ``controller``.
     """
 
     workload: str = "paper_default"
@@ -115,6 +129,8 @@ class Scenario:
     policy_params: Mapping[str, Any] = field(default_factory=dict)
     faults: Optional[str] = None
     fault_params: Mapping[str, Any] = field(default_factory=dict)
+    controller: Optional[str] = None
+    controller_params: Mapping[str, Any] = field(default_factory=dict)
 
     #: Default simulation horizons per scale (model time units).
     DEFAULT_HORIZONS: ClassVar[Dict[str, float]] = {"fast": 200_000.0, "paper": 2_000_000.0}
@@ -136,6 +152,9 @@ class Scenario:
         object.__setattr__(self, "solver_params", MappingProxyType(dict(self.solver_params)))
         object.__setattr__(self, "policy_params", MappingProxyType(dict(self.policy_params)))
         object.__setattr__(self, "fault_params", MappingProxyType(dict(self.fault_params)))
+        object.__setattr__(
+            self, "controller_params", MappingProxyType(dict(self.controller_params))
+        )
         self._validate()
 
     def __hash__(self) -> int:
@@ -166,6 +185,8 @@ class Scenario:
                 tuple(sorted(self.policy_params)),
                 self.faults,
                 tuple(sorted(self.fault_params)),
+                self.controller,
+                tuple(sorted(self.controller_params)),
             )
         )
 
@@ -207,6 +228,14 @@ class Scenario:
             FAULTS.get(self.faults).validate_params(self.fault_params)
         elif self.fault_params:
             raise ScenarioError("fault_params require a faults generator name")
+        if self.controller is not None:
+            if not isinstance(self.controller, str):
+                raise ScenarioError(
+                    f"controller must be a registered controller name, got {self.controller!r}"
+                )
+            CONTROLLERS.get(self.controller).validate_params(self.controller_params)
+        elif self.controller_params:
+            raise ScenarioError("controller_params require a controller name")
         # Type checks first, so e.g. string-typed numbers from a config file
         # raise ScenarioError instead of a raw comparison TypeError.
         for name, value in (("num_files", self.num_files), ("cache_capacity", self.cache_capacity)):
@@ -286,11 +315,14 @@ class Scenario:
         """One-line human-readable summary."""
         policy = self.policy if not self.uses_optimizer else f"optimal/{self.solver}"
         faults = f", faults={self.faults}" if self.faults is not None else ""
+        controller = (
+            f", controller={self.controller}" if self.controller is not None else ""
+        )
         return (
             f"Scenario({self.workload}: {self.num_files} files, "
             f"C={self.cache_capacity}, code={self.code}, policy={policy}, "
             f"engine={self.engine}, backend={self.backend}, "
-            f"seed={self.seed}, scale={self.scale}{faults})"
+            f"seed={self.seed}, scale={self.scale}{faults}{controller})"
         )
 
     # ------------------------------------------------------------------
@@ -324,6 +356,8 @@ class Scenario:
             "policy_params": dict(self.policy_params),
             "faults": self.faults,
             "fault_params": dict(self.fault_params),
+            "controller": self.controller,
+            "controller_params": dict(self.controller_params),
         }
 
     @classmethod

@@ -23,10 +23,18 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
-from repro.api.registry import BASELINES, ENGINES, POLICIES, SOLVERS, WORKLOADS
+from repro.api.registry import (
+    BASELINES,
+    CONTROLLERS,
+    ENGINES,
+    POLICIES,
+    SOLVERS,
+    WORKLOADS,
+)
 from repro.api.scenario import Scenario
 from repro.api.serialize import json_dumps, write_json
 from repro.cluster.replay import ReplayResult
+from repro.control.controller import ControlResult
 from repro.core.algorithm import OptimizationResult
 from repro.core.model import StorageSystemModel
 from repro.core.placement import CachePlacement, placement_histogram
@@ -52,9 +60,14 @@ class RunResult:
         Cluster trace-replay outcome (``None`` unless ``scenario.faults``
         requested a fault schedule -- the emulated cluster is the only
         layer where OSD failures are observable).
+    control:
+        Online-controller outcome (``None`` unless ``scenario.controller``
+        named a registered controller): per-bin drift events, re-solve
+        reports and churn plans from driving the sampled request stream
+        through the control subsystem.
     timings:
         Wall-clock seconds per stage (``build_model``, ``optimize`` /
-        ``baseline``, ``simulate``, ``replay``, ``total``).
+        ``baseline``, ``simulate``, ``replay``, ``control``, ``total``).
     """
 
     scenario: Scenario
@@ -62,6 +75,7 @@ class RunResult:
     optimization: Optional[OptimizationResult] = None
     simulation: Optional[SimulationResult] = None
     replay: Optional[ReplayResult] = None
+    control: Optional[ControlResult] = None
     timings: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -118,6 +132,15 @@ class RunResult:
                 f"{self.replay.degraded_reads} degraded, "
                 f"{self.replay.failed_reads} failed, "
                 f"{self.replay.repair_jobs} repair jobs"
+            )
+        if self.control is not None:
+            lines.append(
+                f"  controller ({self.scenario.controller}): "
+                f"{self.control.num_bins} bins, "
+                f"{self.control.num_drift_events} drift events, "
+                f"-{self.control.total_dropped_chunks}"
+                f"/+{self.control.total_added_chunks} chunks "
+                f"({self.control.total_deferred_chunks} deferred)"
             )
         lines.append(
             "  timings: "
@@ -176,6 +199,10 @@ class RunResult:
                 "mean_latency_ms": None if math.isnan(mean) else mean,
                 "p99_latency_ms": None if math.isnan(p99) else p99,
             }
+        if self.control is not None:
+            payload["control"] = dict(
+                self.control.to_dict(), controller=self.scenario.controller
+            )
         return payload
 
     def to_json(self, indent: int = 2) -> str:
@@ -320,6 +347,43 @@ class Session:
             fault_params=dict(scenario.fault_params),
         )
 
+    def run_controller(
+        self,
+        scenario: Scenario,
+        *,
+        model: Optional[StorageSystemModel] = None,
+        workload=None,
+        horizon: Optional[float] = None,
+    ) -> ControlResult:
+        """Drive the scenario's workload stream through its controller.
+
+        The controller named by ``scenario.controller`` is built against
+        the model and fed the workload's sampled request stream: streaming
+        rate estimation, drift-triggered (or scheduled) re-solves and
+        bounded-churn placement swaps.  The sampling generator is
+        seed-sequence child 5, disjoint from the engine's internal streams
+        (children 0-3) and the simulation's non-stationary sampler
+        (child 4), so control and simulation see independent draws.  Pass
+        ``model``/``workload`` to reuse already-built pipeline stages.
+        """
+        if workload is None:
+            workload = self.build_workload(scenario)
+        if model is None:
+            model = workload.model()
+        spec = CONTROLLERS.get(scenario.controller)
+        controller = spec.build(model, **dict(scenario.controller_params))
+        if horizon is None:
+            horizon = scenario.horizon
+        if horizon is None:
+            horizon = workload.default_horizon()
+        if horizon is None:
+            horizon = scenario.effective_horizon
+        rng = np.random.default_rng(
+            np.random.SeedSequence(scenario.seed).spawn(6)[5]
+        )
+        stream = workload.sample(rng, horizon=horizon)
+        return controller.run(stream)
+
     def _place(self, scenario: Scenario, model: StorageSystemModel):
         if scenario.uses_optimizer:
             solver = SOLVERS.get(scenario.solver)
@@ -380,7 +444,10 @@ class Session:
 
         When ``scenario.faults`` names a fault schedule, a fault-aware
         cluster replay stage runs after the simulation (see
-        :meth:`replay_cluster`) and lands in ``result.replay``.
+        :meth:`replay_cluster`) and lands in ``result.replay``.  When
+        ``scenario.controller`` names a registered controller, the online
+        control stage runs last (see :meth:`run_controller`) and lands in
+        ``result.control``.
 
         The scenario's kernel backend is active for the whole pipeline, so
         every queueing kernel the stages reach computes in that namespace.
@@ -418,6 +485,14 @@ class Session:
                 )
                 timings["replay"] = time.perf_counter() - stage
 
+            control: Optional[ControlResult] = None
+            if scenario.controller is not None:
+                stage = time.perf_counter()
+                control = self.run_controller(
+                    scenario, model=model, workload=workload
+                )
+                timings["control"] = time.perf_counter() - stage
+
         timings["total"] = time.perf_counter() - started
         result = RunResult(
             scenario=scenario,
@@ -425,6 +500,7 @@ class Session:
             optimization=optimization,
             simulation=simulation,
             replay=replay,
+            control=control,
             timings=timings,
         )
         self._results.append(result)

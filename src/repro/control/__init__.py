@@ -1,0 +1,50 @@
+"""Online re-optimization: streaming drift detection, warm solves, churn.
+
+The seventh layer of the stack.  ``repro.control`` turns the per-bin
+re-optimization the paper assumes (Section III time-scale separation,
+Section VI future work) into a long-running component:
+
+* :mod:`repro.control.estimator` -- vectorized streaming rate estimation
+  over request-stream chunks with a sliding-window relative-change drift
+  trigger (:class:`StreamingRateEstimator`, :class:`DriftEvent`);
+* :mod:`repro.control.resolve` -- warm-started re-solves that rebind the
+  compiled system to new rates and re-converge from the previous bin's
+  iterate over a reduced active set (:class:`OnlineResolver`,
+  :class:`ResolveReport`, :class:`ActiveSetProjection`);
+* :mod:`repro.control.controller` -- the loop tying them together with a
+  bounded-churn lazy swap planner (:class:`OnlineController`,
+  :class:`SwapPlanner`, :class:`ChurnPlan`, :class:`ControlResult`).
+
+Registered controllers (``Scenario(controller=...)``, CLI
+``--controller``) live in the :data:`repro.api.registry.CONTROLLERS`
+registry; the builtins are declared in :mod:`repro.control.builtins`.
+"""
+
+from repro.control.controller import (
+    BinRecord,
+    ChurnPlan,
+    ControlResult,
+    OnlineController,
+    SwapPlanner,
+)
+from repro.control.estimator import DriftEvent, StreamingRateEstimator
+from repro.control.resolve import (
+    ActiveSetProjection,
+    OnlineResolver,
+    ResolveReport,
+    round_allocation,
+)
+
+__all__ = [
+    "ActiveSetProjection",
+    "BinRecord",
+    "ChurnPlan",
+    "ControlResult",
+    "DriftEvent",
+    "OnlineController",
+    "OnlineResolver",
+    "ResolveReport",
+    "StreamingRateEstimator",
+    "SwapPlanner",
+    "round_allocation",
+]

@@ -1,0 +1,141 @@
+"""Built-in registered controllers (``Scenario(controller=...)``).
+
+Imported lazily by the :data:`repro.api.registry.CONTROLLERS` populate
+hook, mirroring how :mod:`repro.faults.generators` populates the fault
+registry.  Each builder takes ``(model, **controller_params)`` and returns
+a ready :class:`~repro.control.controller.OnlineController`; the keyword
+names after ``model`` become the accepted ``controller_params``, validated
+eagerly at :class:`~repro.api.scenario.Scenario` construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.api.registry import register_controller
+from repro.control.controller import OnlineController
+from repro.core.model import StorageSystemModel
+
+#: A relative-change threshold no measured rate swing can reach, used to
+#: disable the drift trigger when bins are opened on a clock instead.
+_NEVER_TRIGGER = 1e18
+
+
+class PeriodicController(OnlineController):
+    """Re-solves on a fixed clock instead of on drift events.
+
+    The estimator still runs (its windowed rates feed every re-solve) but
+    its drift trigger is disabled; a new bin opens whenever ``interval``
+    seconds have elapsed since the last one.
+    """
+
+    def __init__(
+        self,
+        model: StorageSystemModel,
+        interval: float = 600.0,
+        **kwargs,
+    ):
+        from repro.exceptions import ControlError
+
+        if interval <= 0:
+            raise ControlError("interval must be positive")
+        kwargs.setdefault("change_threshold", _NEVER_TRIGGER)
+        super().__init__(model, **kwargs)
+        self._interval = float(interval)
+        self._last_opened = 0.0
+
+    @property
+    def interval(self) -> float:
+        """Seconds between scheduled re-solves."""
+        return self._interval
+
+    def observe(self, times: np.ndarray, positions: np.ndarray):
+        """Feed one stream chunk; re-solve when the interval has elapsed."""
+        if not self.resolver.bootstrapped:
+            self.bootstrap()
+        self.estimator.observe(times, positions)
+        times = np.asarray(times, dtype=float)
+        if times.size == 0:
+            return None
+        now = float(times[-1])
+        if now - self._last_opened < self._interval:
+            return None
+        self._last_opened = now
+        rates = self.estimator.freeze_bin_rates(floor=self._rate_floor)
+        return self._open_bin(rates, opened_at=now, event=None, warm=True)
+
+
+@register_controller(
+    "online", description="drift-triggered warm re-solves with bounded churn"
+)
+def build_online(
+    model: StorageSystemModel,
+    *,
+    window: float = 600.0,
+    change_threshold: float = 0.5,
+    min_observations: int = 5,
+    churn_budget: Optional[float] = None,
+    rate_floor: float = 0.0,
+    parity_rtol: float = 1e-6,
+) -> OnlineController:
+    """The full online loop: drift detection, warm re-solve, bounded churn."""
+    return OnlineController(
+        model,
+        window=window,
+        change_threshold=change_threshold,
+        min_observations=min_observations,
+        churn_budget=churn_budget,
+        rate_floor=rate_floor,
+        warm=True,
+        parity_rtol=parity_rtol,
+    )
+
+
+@register_controller(
+    "cold", description="drift-triggered per-bin cold re-solve (baseline)"
+)
+def build_cold(
+    model: StorageSystemModel,
+    *,
+    window: float = 600.0,
+    change_threshold: float = 0.5,
+    min_observations: int = 5,
+    churn_budget: Optional[float] = None,
+    rate_floor: float = 0.0,
+) -> OnlineController:
+    """Same trigger as ``online`` but every re-solve starts from scratch."""
+    return OnlineController(
+        model,
+        window=window,
+        change_threshold=change_threshold,
+        min_observations=min_observations,
+        churn_budget=churn_budget,
+        rate_floor=rate_floor,
+        warm=False,
+    )
+
+
+@register_controller(
+    "periodic", description="fixed-interval warm re-solves from measured rates"
+)
+def build_periodic(
+    model: StorageSystemModel,
+    *,
+    interval: float = 600.0,
+    window: float = 600.0,
+    min_observations: int = 5,
+    churn_budget: Optional[float] = None,
+    rate_floor: float = 0.0,
+) -> OnlineController:
+    """Clock-driven re-solves: a bin every ``interval`` seconds, no trigger."""
+    return PeriodicController(
+        model,
+        interval=interval,
+        window=window,
+        min_observations=min_observations,
+        churn_budget=churn_budget,
+        rate_floor=rate_floor,
+        warm=True,
+    )

@@ -1,0 +1,276 @@
+"""Vectorized streaming arrival-rate estimation and drift detection.
+
+The controller's front end: a :class:`StreamingRateEstimator` consumes a
+request stream in *chunks* (``times``/``positions`` array pairs) instead of
+one arrival at a time.  Each chunk is folded through the kernel layer
+(:func:`repro.kernels.last_access_fold` deduplicates positions and counts
+repeats in one pass), scatter-added into a running per-file count vector,
+and expired at chunk granularity from a deque of chunk summaries -- there
+is no per-arrival Python loop anywhere, which is what lets the controller
+watch paper-scale (10^5-file) streams in real time.
+
+This generalizes the scalar, per-arrival
+:class:`repro.workloads.rates.SlidingWindowRateEstimator`: same sliding
+window, same relative-change trigger against the rates frozen at the start
+of the current bin, but the estimate divides by the *effective* window
+``min(window, now - first_arrival)`` so rates are unbiased during the
+start-up transient (before a full window has been observed) and
+well-defined at every degenerate point (empty window, zero elapsed time).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ControlError
+from repro.kernels import last_access_fold
+
+
+@dataclass
+class DriftEvent:
+    """A detected rate drift that opens a new time bin.
+
+    Attributes
+    ----------
+    time:
+        Stream time (seconds) at which the drift was detected -- the end of
+        the chunk that triggered it.
+    bin_index:
+        Index of the *new* bin opened by this event (the first bin is 1, so
+        the first event opens bin 2).
+    file_position, file_id:
+        The file with the largest relative rate change.
+    previous_rate, new_rate:
+        That file's reference rate (frozen at the current bin's start) and
+        its current windowed estimate.
+    relative_change:
+        ``|new - previous| / previous`` for the triggering file.
+    num_changed:
+        How many files crossed the threshold in the same chunk (a shifted
+        Zipf head moves many files at once).
+    """
+
+    time: float
+    bin_index: int
+    file_position: int
+    file_id: Optional[str]
+    previous_rate: float
+    new_rate: float
+    relative_change: float
+    num_changed: int = 1
+
+
+class StreamingRateEstimator:
+    """Sliding-window per-file rate estimates over a chunked request stream.
+
+    Parameters
+    ----------
+    num_files:
+        Number of files (the position space of the stream).
+    window:
+        Sliding-window length in seconds.  Expiry happens at chunk
+        granularity: a chunk's counts leave the window only once its *last*
+        arrival falls behind ``now - window``, so chunks should be short
+        relative to the window.
+    change_threshold:
+        Relative change versus the frozen bin reference that triggers a
+        :class:`DriftEvent`.
+    min_observations:
+        Minimum in-window arrivals before a file's estimate participates in
+        the trigger (files below it neither adopt references nor fire).
+    file_ids:
+        Optional file-id table used to label events.
+    """
+
+    def __init__(
+        self,
+        num_files: int,
+        window: float,
+        change_threshold: float = 0.5,
+        min_observations: int = 5,
+        file_ids: Optional[Sequence[str]] = None,
+    ):
+        if num_files < 1:
+            raise ControlError("num_files must be positive")
+        if window <= 0:
+            raise ControlError("window must be positive")
+        if change_threshold <= 0:
+            raise ControlError("change_threshold must be positive")
+        if min_observations < 1:
+            raise ControlError("min_observations must be at least 1")
+        if file_ids is not None and len(file_ids) != num_files:
+            raise ControlError(
+                f"file_ids has {len(file_ids)} entries for {num_files} files"
+            )
+        self._num_files = int(num_files)
+        self._window = float(window)
+        self._change_threshold = float(change_threshold)
+        self._min_observations = int(min_observations)
+        self._file_ids = tuple(file_ids) if file_ids is not None else None
+        self._counts = np.zeros(num_files, dtype=np.float64)
+        self._chunks: Deque[Tuple[float, np.ndarray, np.ndarray]] = deque()
+        self._reference = np.zeros(num_files, dtype=np.float64)
+        self._first_time: Optional[float] = None
+        self._last_time: Optional[float] = None
+        self._current_bin = 1
+        self._events: List[DriftEvent] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_files(self) -> int:
+        """Number of files tracked."""
+        return self._num_files
+
+    @property
+    def window(self) -> float:
+        """Sliding-window length in seconds."""
+        return self._window
+
+    @property
+    def current_bin(self) -> int:
+        """Index of the current time bin (starts at 1)."""
+        return self._current_bin
+
+    @property
+    def events(self) -> List[DriftEvent]:
+        """All drift events fired so far (copied)."""
+        return list(self._events)
+
+    @property
+    def reference_rates(self) -> np.ndarray:
+        """The per-file rates frozen at the current bin's start (copied)."""
+        return self._reference.copy()
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def observe(
+        self, times: np.ndarray, positions: np.ndarray
+    ) -> Optional[DriftEvent]:
+        """Fold one stream chunk into the window; fire at most one event.
+
+        ``times`` must be sorted ascending and non-decreasing across
+        chunks; ``positions`` are file indices aligned with ``times``.
+        """
+        times = np.ascontiguousarray(times, dtype=np.float64)
+        positions = np.ascontiguousarray(positions, dtype=np.int64)
+        if times.ndim != 1 or positions.ndim != 1 or times.size != positions.size:
+            raise ControlError("times and positions must be 1-D arrays of equal size")
+        if times.size == 0:
+            return None
+        if times[0] < 0:
+            raise ControlError("arrival times must be non-negative")
+        if times.size > 1 and np.any(np.diff(times) < 0):
+            raise ControlError("arrival times must be sorted ascending")
+        if self._last_time is not None and times[0] < self._last_time:
+            raise ControlError("chunks must be observed in non-decreasing time order")
+        if positions.min() < 0 or positions.max() >= self._num_files:
+            raise ControlError(
+                f"positions must lie in [0, {self._num_files})"
+            )
+        now = float(times[-1])
+        if self._first_time is None:
+            self._first_time = float(times[0])
+        self._last_time = now
+        unique_positions, counts, _ = last_access_fold(positions)
+        self._counts[unique_positions] += counts
+        self._chunks.append((now, unique_positions, counts.astype(np.float64)))
+        self._expire(now)
+        return self._maybe_trigger(now)
+
+    def _expire(self, now: float) -> None:
+        cutoff = now - self._window
+        while self._chunks and self._chunks[0][0] < cutoff:
+            _, unique_positions, counts = self._chunks.popleft()
+            self._counts[unique_positions] -= counts
+
+    def rates(self, now: Optional[float] = None) -> np.ndarray:
+        """Current windowed per-file rate estimates (requests/second).
+
+        Divides the in-window counts by the *effective* window
+        ``min(window, now - first_arrival)``; when no time has elapsed the
+        full window is used as the divisor, so the result is always finite
+        (zero for unobserved files).
+        """
+        if self._last_time is None:
+            return np.zeros(self._num_files, dtype=np.float64)
+        if now is None:
+            now = self._last_time
+        else:
+            self._expire(float(now))
+        effective = min(self._window, float(now) - float(self._first_time))
+        if effective <= 0.0:
+            effective = self._window
+        return self._counts / effective
+
+    # ------------------------------------------------------------------
+    # Time-bin logic
+    # ------------------------------------------------------------------
+
+    def freeze_bin_rates(
+        self, rates: Optional[np.ndarray] = None, floor: float = 0.0
+    ) -> np.ndarray:
+        """Freeze the current bin's reference rates and return them.
+
+        The controller calls this right before re-solving: the returned
+        (floored) vector is both the drift reference for the next trigger
+        and the rate input of the re-solve, so the two always agree.
+        """
+        if rates is None:
+            rates = self.rates()
+        frozen = np.maximum(np.asarray(rates, dtype=np.float64), float(floor))
+        if frozen.shape != (self._num_files,):
+            raise ControlError(
+                f"expected {self._num_files} rates, got shape {frozen.shape}"
+            )
+        self._reference = frozen.copy()
+        return frozen
+
+    def _maybe_trigger(self, now: float) -> Optional[DriftEvent]:
+        eligible = self._counts >= self._min_observations
+        if not np.any(eligible):
+            return None
+        rates = self.rates(now)
+        # Files without a reference adopt the current estimate silently
+        # (same semantics as SlidingWindowRateEstimator).
+        adopt = eligible & (self._reference <= 0.0)
+        if np.any(adopt):
+            self._reference[adopt] = rates[adopt]
+        consider = eligible & (self._reference > 0.0) & ~adopt
+        if not np.any(consider):
+            return None
+        relative = np.zeros(self._num_files, dtype=np.float64)
+        np.divide(
+            np.abs(rates - self._reference),
+            self._reference,
+            out=relative,
+            where=consider,
+        )
+        worst = int(np.argmax(relative))
+        if relative[worst] <= self._change_threshold:
+            return None
+        self._current_bin += 1
+        event = DriftEvent(
+            time=now,
+            bin_index=self._current_bin,
+            file_position=worst,
+            file_id=self._file_ids[worst] if self._file_ids is not None else None,
+            previous_rate=float(self._reference[worst]),
+            new_rate=float(rates[worst]),
+            relative_change=float(relative[worst]),
+            num_changed=int(np.count_nonzero(relative > self._change_threshold)),
+        )
+        self._events.append(event)
+        # The new bin's provisional reference is the current snapshot; the
+        # controller typically overwrites it via freeze_bin_rates() with the
+        # (floored) rates it actually re-solved with.
+        self._reference = rates.copy()
+        return event

@@ -33,6 +33,7 @@ from repro.core.model import StorageSystemModel
 from repro.core.placement import CachePlacement, FilePlacement
 from repro.core.prob_pi import (
     ProbPiResult,
+    solve_fista,
     solve_frank_wolfe,
     solve_projected_gradient,
     solve_slsqp,
@@ -100,7 +101,7 @@ class CacheOptimizer:
             raise OptimizationError("tolerance must be positive")
         if not 0.0 <= rounding_fraction < 1.0:
             raise OptimizationError("rounding_fraction must lie in [0, 1)")
-        if pi_solver not in {"projected_gradient", "frank_wolfe", "slsqp"}:
+        if pi_solver not in {"projected_gradient", "fista", "frank_wolfe", "slsqp"}:
             raise OptimizationError(f"unknown Prob-Pi solver {pi_solver!r}")
         self._model = model
         self._system = system.rebind(model) if system is not None else VectorizedSystem(model)
@@ -140,6 +141,15 @@ class CacheOptimizer:
                 initial_pi=initial_pi,
                 max_iterations=self._pi_max_iterations,
             )
+        if self._pi_solver == "fista":
+            return solve_fista(
+                self._system,
+                z,
+                lower_sums,
+                upper_sums,
+                initial_pi=initial_pi,
+                max_iterations=self._pi_max_iterations,
+            )
         if self._pi_solver == "frank_wolfe":
             return solve_frank_wolfe(
                 self._system,
@@ -166,6 +176,7 @@ class CacheOptimizer:
         self,
         initial_state: Optional[SolutionState] = None,
         time_bin: Optional[int] = None,
+        warm_start: Optional[np.ndarray] = None,
     ) -> OptimizationResult:
         """Run Algorithm 1 and return the optimized cache placement.
 
@@ -176,9 +187,21 @@ class CacheOptimizer:
             cache size or the previous time bin, as done for Fig. 3).
         time_bin:
             Identifier recorded in the resulting placement.
+        warm_start:
+            Optional warm start as a flat pair vector (the representation
+            the solvers and :class:`VectorizedSystem` use natively).  The
+            online controller keeps its state in this form to avoid the
+            per-pair Python loops of :class:`SolutionState` conversion at
+            paper scale; takes precedence over ``initial_state``.
         """
         system = self._system
-        if initial_state is not None:
+        if warm_start is not None:
+            pi = system.project(
+                np.asarray(warm_start, dtype=float),
+                np.zeros(system.num_files),
+                system.k_values.copy(),
+            )
+        elif initial_state is not None:
             pi = system.project(
                 system.from_state(initial_state),
                 np.zeros(system.num_files),
@@ -313,48 +336,75 @@ class CacheOptimizer:
     def _build_placement(
         self, pi: np.ndarray, z: np.ndarray, time_bin: Optional[int]
     ) -> CachePlacement:
-        system = self._system
-        model = self._model
-        sums = system.file_sums(pi)
+        return build_placement(self._system, self._model, pi, z, time_bin)
+
+
+def build_placement(
+    system: VectorizedSystem,
+    model: StorageSystemModel,
+    pi: np.ndarray,
+    z: np.ndarray,
+    time_bin: Optional[int] = None,
+    cached_chunks: Optional[np.ndarray] = None,
+) -> CachePlacement:
+    """Assemble a validated :class:`CachePlacement` from a solver iterate.
+
+    Shared by :class:`CacheOptimizer` and the online re-solver
+    (:mod:`repro.control.resolve`).  The arrival rates recorded per file are
+    taken from ``system`` (not ``model``) so placements built after
+    :meth:`VectorizedSystem.set_arrival_rates` carry the measured rates.
+
+    Parameters
+    ----------
+    cached_chunks:
+        Optional integer per-file cache allocation to record instead of
+        rounding ``k_i - sum_j pi_{i,j}``; the online re-solver passes its
+        apportionment-rounded allocation here so the placement matches the
+        pinned solve exactly.
+    """
+    sums = system.file_sums(pi)
+    if cached_chunks is None:
         cached = np.rint(system.k_values - sums).astype(int)
         cached = np.clip(cached, 0, system.k_values.astype(int))
-        # Guard the capacity constraint against accumulated rounding noise:
-        # greedily trim files with the smallest latency benefit if needed.
-        overflow = int(cached.sum()) - model.cache_capacity
-        if overflow > 0:
-            order = np.argsort(system.weights)  # least-weighted files first
-            for file_position in order:
-                if overflow <= 0:
-                    break
-                reducible = min(int(cached[file_position]), overflow)
-                cached[file_position] -= reducible
-                overflow -= reducible
-        bounds = system.per_file_bounds(pi, system.optimal_z(pi))
-        objective = float(np.dot(system.weights, bounds))
+    else:
+        cached = np.asarray(cached_chunks, dtype=int).copy()
+    # Guard the capacity constraint against accumulated rounding noise:
+    # greedily trim files with the smallest latency benefit if needed.
+    overflow = int(cached.sum()) - model.cache_capacity
+    if overflow > 0:
+        order = np.argsort(system.weights)  # least-weighted files first
+        for file_position in order:
+            if overflow <= 0:
+                break
+            reducible = min(int(cached[file_position]), overflow)
+            cached[file_position] -= reducible
+            overflow -= reducible
+    bounds = system.per_file_bounds(pi, system.optimal_z(pi))
+    objective = float(np.dot(system.weights, bounds))
 
-        state = system.to_state(pi, z)
-        files: List[FilePlacement] = []
-        for file_position, spec in enumerate(model.files):
-            files.append(
-                FilePlacement(
-                    file_id=spec.file_id,
-                    cached_chunks=int(cached[file_position]),
-                    scheduling_probabilities=dict(state.probabilities[file_position]),
-                    latency_bound=float(bounds[file_position]),
-                    arrival_rate=spec.arrival_rate,
-                    k=spec.k,
-                    n=spec.n,
-                )
+    state = system.to_state(pi, z)
+    files: List[FilePlacement] = []
+    for file_position, spec in enumerate(model.files):
+        files.append(
+            FilePlacement(
+                file_id=spec.file_id,
+                cached_chunks=int(cached[file_position]),
+                scheduling_probabilities=dict(state.probabilities[file_position]),
+                latency_bound=float(bounds[file_position]),
+                arrival_rate=float(system.arrival_rates[file_position]),
+                k=spec.k,
+                n=spec.n,
             )
-        placement = CachePlacement(
-            files=files,
-            objective=objective,
-            cache_capacity=model.cache_capacity,
-            time_bin=time_bin,
-            metadata={"total_fractional_cache": float((system.k_values - sums).sum())},
         )
-        placement.validate_against(model)
-        return placement
+    placement = CachePlacement(
+        files=files,
+        objective=objective,
+        cache_capacity=model.cache_capacity,
+        time_bin=time_bin,
+        metadata={"total_fractional_cache": float((system.k_values - sums).sum())},
+    )
+    placement.validate_against(model)
+    return placement
 
 
 def optimize_cache_placement(

@@ -11,17 +11,24 @@ predicted rates, and cache contents are updated lazily:
   the file is next accessed (the chunks are generated from the data fetched
   for that access, again avoiding extra network traffic).
 
-:class:`TimeBinScheduler` implements that loop and records the deltas, which
-the Fig. 5 experiment and the simulator consume.
+:class:`TimeBinScheduler` used to implement that loop directly; it is now a
+thin deprecation shim over :class:`repro.control.OnlineController`, which
+adds streaming drift detection, warm-started re-solves and bounded churn.
+The dataclasses (:class:`TimeBin`, :class:`CacheContentDelta`,
+:class:`TimeBinOutcome`) remain the canonical bin bookkeeping types.
+
+.. deprecated:: 1.4.0
+    Use ``repro.control.OnlineController`` (``process_bin`` for explicit
+    rate tables, ``run``/``observe`` for streams).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from repro.core.algorithm import CacheOptimizer, OptimizationResult
-from repro.core.bound import SolutionState
+from repro.core.algorithm import OptimizationResult
 from repro.core.model import StorageSystemModel
 from repro.core.placement import CachePlacement
 from repro.exceptions import ModelError
@@ -75,7 +82,13 @@ class TimeBinOutcome:
 
 
 class TimeBinScheduler:
-    """Runs Algorithm 1 at every time-bin boundary with warm starts.
+    """Deprecated shim: per-bin re-optimization via the online controller.
+
+    .. deprecated:: 1.4.0
+        Use :class:`repro.control.OnlineController` directly --
+        ``process_bin`` for explicit rate tables (what this shim wraps),
+        ``run``/``observe`` for drift-triggered operation on a request
+        stream with bounded churn.
 
     Parameters
     ----------
@@ -83,7 +96,10 @@ class TimeBinScheduler:
         Model describing nodes, files and cache capacity; the per-bin
         arrival rates override the model's rates.
     tolerance, optimizer_kwargs:
-        Passed through to :class:`~repro.core.algorithm.CacheOptimizer`.
+        Accepted for backward compatibility; ``tolerance`` maps onto the
+        controller's alternation tolerance, other optimizer keywords are
+        ignored (the controller's FISTA re-solver replaces the per-bin
+        :class:`~repro.core.algorithm.CacheOptimizer` run).
     """
 
     def __init__(
@@ -92,11 +108,19 @@ class TimeBinScheduler:
         tolerance: float = 0.01,
         **optimizer_kwargs,
     ):
+        warnings.warn(
+            "TimeBinScheduler is deprecated; use repro.control.OnlineController "
+            "(process_bin for explicit rate tables, run/observe for streams)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.control import OnlineController
+
         self._base_model = base_model
-        self._tolerance = tolerance
-        self._optimizer_kwargs = optimizer_kwargs
+        self._controller = OnlineController(
+            base_model, alternation_tolerance=tolerance
+        )
         self._previous_placement: Optional[CachePlacement] = None
-        self._previous_state: Optional[SolutionState] = None
         self._history: List[TimeBinOutcome] = []
 
     @property
@@ -115,17 +139,22 @@ class TimeBinScheduler:
 
     def process_bin(self, time_bin: TimeBin) -> TimeBinOutcome:
         """Re-optimize the placement for ``time_bin`` and record the delta."""
-        model = self._base_model.copy_with_arrival_rates(time_bin.arrival_rates)
-        optimizer = CacheOptimizer(
-            model, tolerance=self._tolerance, **self._optimizer_kwargs
+        record = self._controller.process_bin(
+            dict(time_bin.arrival_rates), index=time_bin.index
         )
-        result = optimizer.optimize(
-            initial_state=self._previous_state, time_bin=time_bin.index
-        )
-        placement = result.placement
+        placement = record.placement
         delta = self._compute_delta(time_bin.index, placement)
         self._previous_placement = placement
-        self._previous_state = self._placement_to_state(model, placement)
+        result = OptimizationResult(
+            placement=placement,
+            objective_trace=[
+                record.report.relaxed_objective,
+                record.report.objective,
+            ],
+            outer_iterations=record.report.sweeps + 1,
+            inner_solves=record.report.iterations,
+            converged=not record.report.fallback,
+        )
         outcome = TimeBinOutcome(
             time_bin=time_bin, placement=placement, result=result, delta=delta
         )
@@ -157,17 +186,6 @@ class TimeBinScheduler:
             elif change > 0:
                 delta.added_on_access[entry.file_id] = change
         return delta
-
-    @staticmethod
-    def _placement_to_state(
-        model: StorageSystemModel, placement: CachePlacement
-    ) -> SolutionState:
-        probabilities = []
-        for entry in placement.files:
-            probabilities.append(dict(entry.scheduling_probabilities))
-        return SolutionState(
-            probabilities=probabilities, z_values=[0.0] * model.num_files
-        )
 
 
 def bins_from_rate_table(

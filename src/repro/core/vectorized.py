@@ -253,6 +253,33 @@ class VectorizedSystem:
         """Update the cache capacity without recompiling the pair arrays."""
         self.cache_capacity = float(cache_capacity)
 
+    def set_arrival_rates(self, arrival_rates: Sequence[float]) -> None:
+        """Re-point the compiled system at new per-file arrival rates.
+
+        This is the hot path of the online controller: when the streaming
+        estimator opens a new time bin, only the rates (and the weights /
+        per-pair gathers derived from them) change -- the pair structure,
+        service moments and cache capacity stay untouched, so no model
+        rebuild or :meth:`rebind` is needed.  Note the underlying
+        ``StorageSystemModel`` is *not* updated; callers that need a
+        consistent model (e.g. for simulation) should build one with
+        ``model.copy_with_arrival_rates``.
+        """
+        rates = np.asarray(arrival_rates, dtype=float)
+        if rates.shape != (self.num_files,):
+            raise OptimizationError(
+                f"expected {self.num_files} arrival rates, got {rates.shape}"
+            )
+        if np.any(rates < 0.0):
+            raise OptimizationError("arrival rates must be non-negative")
+        total_rate = float(rates.sum())
+        if total_rate <= 0:
+            raise OptimizationError("total arrival rate must be positive")
+        self.arrival_rates = rates
+        self.weights = rates / total_rate
+        self.pair_weights = self.weights[self.pair_file]
+        self.pair_rates = self.arrival_rates[self.pair_file]
+
     def rebind(self, model: StorageSystemModel) -> "VectorizedSystem":
         """Re-point the compiled system at a structurally identical model.
 

@@ -84,6 +84,10 @@ class FaultError(ClusterError):
     """Raised for invalid fault schedules, windows or generator parameters."""
 
 
+class ControlError(SproutError):
+    """Raised for invalid online-controller configurations or operations."""
+
+
 class RegistryError(SproutError):
     """Raised for invalid registry operations (unknown or duplicate names)."""
 

@@ -19,6 +19,7 @@ from repro.experiments import (
     fig11_arrival_rates,
     fig12_tail_under_failure,
     fig13_degraded_reads,
+    fig14_drift_race,
     scenario_run,
     tables,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "fig11_arrival_rates",
     "fig12_tail_under_failure",
     "fig13_degraded_reads",
+    "fig14_drift_race",
     "scenario_run",
     "tables",
 ]

@@ -1,0 +1,316 @@
+"""Fig. 14 (extension): the drift race -- online controller vs baselines.
+
+The paper re-optimizes at every time-bin boundary but leaves open *how* a
+deployed system would notice the boundary and afford the re-solve (the
+Section VI future-work note).  This experiment races three strategies over
+the same non-stationary request stream:
+
+* **online** -- the :class:`~repro.control.controller.OnlineController`:
+  streaming drift detection, warm-started re-solves, bounded churn;
+* **cold** -- the same drift trigger, but every re-solve starts from
+  scratch (the per-bin Algorithm-1 discipline of the paper, made online);
+* **static** -- the bootstrap placement held fixed for the whole run (what
+  a system that never re-optimizes would serve).
+
+All three arms see the same sampled stream, so the warm and cold arms open
+the same bins.  Each bin's frozen measured rates then score every arm: the
+arm's scheduling probabilities are evaluated under those rates on a shared
+:class:`~repro.core.vectorized.VectorizedSystem`, giving the analytic
+latency bound each strategy actually tracked through the drift.  The race
+reports that tracked bound next to the per-bin re-solve cost, which is the
+trade the controller exists to win: cold quality at warm cost.
+
+The paper's operating point for the re-solve deadline is one time bin;
+:data:`PAPER_BIN_WIDTH_S` records the width the benchmark gate holds the
+steady-state warm re-solve of a 10^5-file system against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.api.experiments import register_experiment
+from repro.api.registry import CONTROLLERS, WORKLOADS
+from repro.api.scenario import Scenario
+from repro.control import OnlineController
+from repro.core.vectorized import VectorizedSystem
+
+#: The fig14 time-bin width (seconds): the re-solve deadline an online
+#: controller must meet for the paper's per-bin discipline to be viable.
+#: The online-resolve benchmark gates the steady-state warm re-solve of a
+#: 10^5-file system against this width.
+PAPER_BIN_WIDTH_S = 300.0
+
+
+@dataclass
+class ArmResult:
+    """One strategy's trajectory through the race."""
+
+    name: str
+    num_bins: int = 0
+    num_drift_events: int = 0
+    solve_seconds: List[float] = field(default_factory=list)
+    objectives: List[float] = field(default_factory=list)  # tracked bound/bin
+    relaxed_objectives: List[float] = field(default_factory=list)
+    dropped_chunks: int = 0
+    added_chunks: int = 0
+    deferred_chunks: int = 0
+    fallbacks: int = 0
+
+    @property
+    def mean_objective(self) -> float:
+        """Mean tracked latency bound across the scored bins."""
+        return float(np.mean(self.objectives)) if self.objectives else float("nan")
+
+    @property
+    def total_solve_seconds(self) -> float:
+        """Total wall-clock spent re-solving."""
+        return float(np.sum(self.solve_seconds))
+
+    def mean_resolve_seconds(self) -> float:
+        """Mean per-bin re-solve cost, bootstrap excluded."""
+        tail = self.solve_seconds[1:]
+        return float(np.mean(tail)) if tail else 0.0
+
+
+@dataclass
+class Fig14Result:
+    """Outcome of the drift race."""
+
+    workload: str
+    num_files: int
+    cache_capacity: int
+    duration: float
+    num_requests: int
+    churn_budget: Optional[int]
+    arms: Dict[str, ArmResult] = field(default_factory=dict)
+    bin_times: List[float] = field(default_factory=list)
+    #: Max relative warm/cold relaxed-objective gap across coinciding bins.
+    #: This measures trajectory divergence (each arm alternates its own z),
+    #: NOT the warm-start parity guarantee -- that is gated at shared
+    #: carried z by the online-resolve benchmark.
+    relaxed_gap: float = 0.0
+    warm_speedup: float = float("nan")  # cold / warm mean re-solve seconds
+
+    def arm(self, name: str) -> ArmResult:
+        """One arm's trajectory by name."""
+        return self.arms[name]
+
+
+def _evaluate(system: VectorizedSystem, pi: np.ndarray, rates: np.ndarray) -> float:
+    """The analytic latency bound of ``pi`` under ``rates``."""
+    system.set_arrival_rates(rates)
+    return float(system.objective(pi, system.optimal_z(pi)))
+
+
+@register_experiment(
+    "fig14",
+    title="Drift race: online controller vs cold re-solve vs static (Fig. 14)",
+    scales={
+        "fast": {
+            "num_files": 60,
+            "cache_capacity": 60,
+            "duration": 4_000.0,
+            "window": 400.0,
+            "shift_every": 800.0,
+            "rate_scale": 0.5,
+        },
+        "paper": {
+            "num_files": 2_000,
+            "cache_capacity": 2_000,
+            "duration": 40_000.0,
+            "window": 2_000.0,
+            "shift_every": 4_000.0,
+            "rate_scale": 0.5,
+        },
+    },
+    description="race drift-triggered warm, cold and static placements over "
+    "one non-stationary stream",
+)
+def run(
+    workload: str = "drift",
+    num_files: int = 60,
+    cache_capacity: int = 60,
+    duration: float = 4_000.0,
+    window: float = 400.0,
+    change_threshold: float = 0.5,
+    min_observations: int = 5,
+    churn_budget: Optional[float] = None,
+    shift_every: Optional[float] = None,
+    rate_scale: float = 0.5,
+    seed: int = 2016,
+    num_chunks: int = 64,
+    controller: Optional[str] = None,
+    controller_params: Optional[Dict[str, object]] = None,
+) -> Fig14Result:
+    """Race the three strategies over one sampled non-stationary stream.
+
+    Parameters
+    ----------
+    workload:
+        A registered non-stationary workload (``drift`` or ``flash_crowd``
+        are the canonical choices).
+    duration:
+        Stream horizon in seconds.
+    window, change_threshold, min_observations:
+        Drift-trigger knobs shared by the primary and cold arms.
+    churn_budget:
+        Per-bin cap on chunks scheduled for lazy addition (``None`` =
+        unbounded).
+    shift_every:
+        Popularity-rotation period of the ``drift`` workload (forwarded as
+        a workload parameter; ignored for workloads without it).
+    rate_scale:
+        Load multiplier on the workload's aggregate rate.
+    controller, controller_params:
+        Registered controller racing as the primary arm (default
+        ``online``).  The drift-triggered cold re-solver and the static
+        bootstrap stay fixed baselines, so ``--controller periodic`` races
+        interval-based re-optimization against them.
+    """
+    workload_params: Dict[str, object] = {}
+    if shift_every is not None and workload == "drift":
+        workload_params["shift_every"] = float(shift_every)
+    scenario = Scenario(
+        workload=workload,
+        num_files=num_files,
+        cache_capacity=cache_capacity,
+        simulate=False,
+        seed=seed,
+        rate_scale=rate_scale,
+        workload_params=workload_params,
+    )
+    built = WORKLOADS.get(workload).create(scenario)
+    model = built.model()
+    rng = np.random.default_rng(np.random.SeedSequence(seed).spawn(6)[5])
+    stream = built.sample(rng, horizon=duration)
+
+    controller_knobs = dict(
+        window=window,
+        change_threshold=change_threshold,
+        min_observations=min_observations,
+        churn_budget=churn_budget,
+    )
+    spec = CONTROLLERS.get(controller or "online")
+    accepted = spec.accepted_params()
+    build_params = {
+        key: value
+        for key, value in controller_knobs.items()
+        if accepted is None or key in accepted
+    }
+    build_params.update(dict(controller_params or {}))
+    spec.validate_params(build_params)
+    primary_controller = spec.build(model, **build_params)
+    cold_controller = OnlineController(model, warm=False, **controller_knobs)
+    primary_run = primary_controller.run(stream, num_chunks=num_chunks)
+    cold_run = cold_controller.run(stream, num_chunks=num_chunks)
+
+    result = Fig14Result(
+        workload=workload,
+        num_files=num_files,
+        cache_capacity=cache_capacity,
+        duration=float(duration),
+        num_requests=stream.num_requests,
+        churn_budget=primary_controller.planner.churn_budget,
+    )
+    arms = {
+        "online": ArmResult(spec.name),
+        "cold": ArmResult("cold"),
+        "static": ArmResult("static"),
+    }
+    static_pi = primary_run.bins[0].report.pinned_pi
+
+    # Score every bin the primary arm opened: the bin's frozen measured
+    # rates evaluate each arm's scheduling probabilities on a shared
+    # system.  With the default online primary the cold arm opened the
+    # same bins (same stream, same trigger), so its trajectory is indexed
+    # in lockstep; the static arm always serves the bootstrap
+    # probabilities.
+    scorer = VectorizedSystem(model)
+    parity = 0.0
+    for position, record in enumerate(primary_run.bins):
+        result.bin_times.append(record.opened_at)
+        cold_record = (
+            cold_run.bins[position] if position < len(cold_run.bins) else None
+        )
+        arms["online"].objectives.append(
+            _evaluate(scorer, record.report.pinned_pi, record.rates)
+        )
+        arms["static"].objectives.append(
+            _evaluate(scorer, static_pi, record.rates)
+        )
+        if cold_record is not None:
+            arms["cold"].objectives.append(
+                _evaluate(scorer, cold_record.report.pinned_pi, record.rates)
+            )
+            if np.array_equal(record.rates, cold_record.rates):
+                # Same measured rates, but each arm alternates z along its
+                # own trajectory, so this gap measures how far the two
+                # histories drift apart -- not the shared-z warm-start
+                # parity, which the online-resolve benchmark gates at
+                # 1e-6.  (A non-online primary opens different bins, so
+                # the pair never coincides and the gap stays 0.)
+                gap = abs(
+                    record.report.relaxed_objective
+                    - cold_record.report.relaxed_objective
+                ) / max(abs(cold_record.report.relaxed_objective), 1.0)
+                parity = max(parity, gap)
+
+    for name, run_result in (("online", primary_run), ("cold", cold_run)):
+        arm = arms[name]
+        arm.num_bins = run_result.num_bins
+        arm.num_drift_events = run_result.num_drift_events
+        arm.solve_seconds = run_result.solve_seconds()
+        arm.relaxed_objectives = [
+            record.report.relaxed_objective for record in run_result.bins
+        ]
+        arm.dropped_chunks = run_result.total_dropped_chunks
+        arm.added_chunks = run_result.total_added_chunks
+        arm.deferred_chunks = run_result.total_deferred_chunks
+        arm.fallbacks = sum(
+            1 for record in run_result.bins if record.report.fallback
+        )
+    arms["static"].num_bins = 1
+    arms["static"].solve_seconds = primary_run.solve_seconds()[:1]
+    result.arms = arms
+    result.relaxed_gap = parity
+    cold_mean = arms["cold"].mean_resolve_seconds()
+    warm_mean = arms["online"].mean_resolve_seconds()
+    result.warm_speedup = cold_mean / warm_mean if warm_mean > 0 else float("nan")
+    return result
+
+
+def format_result(result: Fig14Result) -> str:
+    """Render the race as a per-arm table plus the headline ratios."""
+    lines = [
+        f"Fig. 14 -- drift race on '{result.workload}' "
+        f"({result.num_files} files, C={result.cache_capacity} chunks, "
+        f"{result.num_requests} requests over {result.duration:.0f} s, "
+        f"churn budget "
+        f"{result.churn_budget if result.churn_budget is not None else 'unbounded'})",
+        f"{'arm':>8} {'bins':>5} {'mean bound':>11} {'total solve':>12} "
+        f"{'mean re-solve':>14} {'churn -/+':>12}",
+    ]
+    for key in ("online", "cold", "static"):
+        arm = result.arms[key]
+        lines.append(
+            f"{arm.name:>8} {arm.num_bins:>5} {arm.mean_objective:>11.4f} "
+            f"{arm.total_solve_seconds:>11.3f}s "
+            f"{arm.mean_resolve_seconds() * 1000.0:>12.1f}ms "
+            f"{'-%d/+%d' % (arm.dropped_chunks, arm.added_chunks):>12}"
+        )
+    lines.append(
+        f"warm re-solve speedup over cold: {result.warm_speedup:.2f}x; "
+        f"warm/cold trajectory gap (relaxed objective): {result.relaxed_gap:.2e}"
+    )
+    static_excess = (
+        result.arms["static"].mean_objective
+        - result.arms["online"].mean_objective
+    )
+    lines.append(
+        f"static placement excess latency bound vs online: {static_excess:+.4f}"
+    )
+    return "\n".join(lines)

@@ -15,7 +15,7 @@ from typing import Dict, List
 
 from repro.api.deprecation import deprecated_entry_point
 from repro.api.experiments import register_experiment
-from repro.core.timebins import TimeBinScheduler
+from repro.control import OnlineController
 from repro.simulation.simulator import SimulationConfig, StorageSimulator
 from repro.workloads.defaults import ten_file_model
 from repro.workloads.traces import TABLE_I_ARRIVAL_RATES, table_i_time_bins
@@ -75,25 +75,20 @@ def run(
     model = ten_file_model(
         cache_capacity=cache_capacity, seed=seed, rate_scale=rate_scale
     )
-    scheduler = TimeBinScheduler(model, tolerance=tolerance)
-    bins = table_i_time_bins()
-    scaled_bins = []
-    for time_bin in bins:
+    controller = OnlineController(model, alternation_tolerance=tolerance)
+    result = Fig5Result(cache_capacity=cache_capacity)
+    for time_bin in table_i_time_bins():
         scaled = {
             file_id: rate * rate_scale
             for file_id, rate in time_bin.arrival_rates.items()
         }
-        time_bin.arrival_rates = scaled
-        scaled_bins.append(time_bin)
-    outcomes = scheduler.process_bins(scaled_bins)
-    result = Fig5Result(cache_capacity=cache_capacity)
-    for outcome in outcomes:
-        result.cache_per_bin.append(outcome.placement.cached_chunks())
-        result.arrival_rates_per_bin.append(dict(outcome.time_bin.arrival_rates))
-        result.latency_per_bin.append(outcome.placement.objective)
+        record = controller.process_bin(scaled, index=time_bin.index)
+        result.cache_per_bin.append(record.placement.cached_chunks())
+        result.arrival_rates_per_bin.append(dict(scaled))
+        result.latency_per_bin.append(record.placement.objective)
         if simulate_bins:
-            bin_model = model.copy_with_arrival_rates(outcome.time_bin.arrival_rates)
-            simulator = StorageSimulator(bin_model, outcome.placement, engine=engine)
+            bin_model = model.copy_with_arrival_rates(scaled)
+            simulator = StorageSimulator(bin_model, record.placement, engine=engine)
             config = SimulationConfig(
                 horizon=horizon, seed=seed, warmup=horizon * 0.1
             )

@@ -15,9 +15,12 @@ longer.  Uniform flags forwarded to every experiment that supports them:
 * ``--fault NAME`` / ``--fault-param KEY=VALUE`` -- inject a registered
   fault schedule into experiments that replay the emulated cluster
   (``repro.api.list_faults()``),
+* ``--controller NAME`` / ``--controller-param KEY=VALUE`` -- drive the
+  workload stream through a registered online controller in experiments
+  that support one (``repro.api.list_controllers()``),
 * ``--json`` -- emit the machine-readable result instead of the text report,
 * ``--list`` -- show every registered experiment, solver, engine, baseline,
-  kernel backend, fault generator and workload.
+  kernel backend, fault generator, controller and workload.
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ from typing import Callable, Dict, Optional, Tuple
 import repro.experiments  # noqa: F401  (self-registration side effect)
 from repro.api.registry import (
     BASELINES,
+    CONTROLLERS,
     ENGINES,
     EXPERIMENTS as EXPERIMENT_REGISTRY,
     FAULTS,
@@ -55,6 +59,8 @@ def run_experiment(
     workload_params: Optional[Dict[str, object]] = None,
     faults: Optional[str] = None,
     fault_params: Optional[Dict[str, object]] = None,
+    controller: Optional[str] = None,
+    controller_params: Optional[Dict[str, object]] = None,
     as_json: bool = False,
 ) -> str:
     """Run one registered experiment and return its formatted report.
@@ -65,10 +71,11 @@ def run_experiment(
     select a registered workload for experiments that take one (the
     ``scenario`` experiment; dropped otherwise, like ``engine``/``seed``).
     ``faults``/``fault_params`` inject a registered fault schedule into
-    experiments that replay the emulated cluster (same drop rule).  With
-    ``as_json=True`` the report is a JSON document carrying the full typed
-    result; otherwise it is the experiment's text rendering under a timing
-    header.
+    experiments that replay the emulated cluster (same drop rule);
+    ``controller``/``controller_params`` drive the workload stream through
+    a registered online controller (same drop rule).  With ``as_json=True``
+    the report is a JSON document carrying the full typed result; otherwise
+    it is the experiment's text rendering under a timing header.
     """
     spec = EXPERIMENT_REGISTRY.get(name)
     started = time.time()
@@ -81,6 +88,8 @@ def run_experiment(
             workload_params=workload_params or None,
             faults=faults,
             fault_params=fault_params or None,
+            controller=controller,
+            controller_params=controller_params or None,
         )
     elapsed = time.time() - started
     if as_json:
@@ -168,6 +177,7 @@ def format_listing() -> str:
         ("baselines", BASELINES),
         ("cache policies", POLICIES),
         ("fault generators", FAULTS),
+        ("controllers", CONTROLLERS),
     )
     for label, registry in sections:
         lines.append("")
@@ -265,6 +275,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-param crash_rate=1e-4 --fault-param downtime_ms=30000",
     )
     parser.add_argument(
+        "--controller",
+        choices=CONTROLLERS.names(),
+        default=None,
+        help="registered online controller driving the workload stream in "
+        "experiments that support one (the 'scenario' and 'fig14' "
+        "experiments)",
+    )
+    parser.add_argument(
+        "--controller-param",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        dest="controller_params",
+        help="controller builder parameter (repeatable); values are parsed "
+        "as JSON with plain-string fallback, e.g. "
+        "--controller-param window=300 --controller-param churn_budget=64",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         dest="as_json",
@@ -292,6 +320,9 @@ def main(argv=None) -> int:
     try:
         workload_params = parse_workload_params(args.workload_params)
         fault_params = parse_param_pairs(args.fault_params, "--fault-param")
+        controller_params = parse_param_pairs(
+            args.controller_params, "--controller-param"
+        )
     except ValueError as error:
         parser.error(str(error))
     names = EXPERIMENT_REGISTRY.names() if args.experiment == "all" else [args.experiment]
@@ -306,6 +337,8 @@ def main(argv=None) -> int:
             workload_params=workload_params,
             faults=args.faults,
             fault_params=fault_params,
+            controller=args.controller,
+            controller_params=controller_params,
             as_json=args.as_json,
         )
         for name in names

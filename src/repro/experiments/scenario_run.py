@@ -16,6 +16,13 @@ Fault schedules ride along the same way (``--fault`` /
 
     python -m repro.experiments scenario --fault osd_crash \
         --fault-param crash_rate=1e-4
+
+So do online controllers (``--controller`` /
+``--controller-param key=value``), adding the control stage -- streaming
+drift detection, warm re-solves, bounded-churn swaps::
+
+    python -m repro.experiments scenario --workload drift \
+        --controller online --controller-param churn_budget=16
 """
 
 from __future__ import annotations
@@ -42,6 +49,8 @@ def run(
     seed: Optional[int] = None,
     faults: Optional[str] = None,
     fault_params: Optional[Mapping[str, Any]] = None,
+    controller: Optional[str] = None,
+    controller_params: Optional[Mapping[str, Any]] = None,
     scale: str = "fast",
 ) -> Dict[str, Any]:
     """Run one scenario and return its JSON-safe result payload."""
@@ -61,6 +70,10 @@ def run(
         fields["faults"] = faults
         if fault_params:
             fields["fault_params"] = dict(fault_params)
+    if controller is not None:
+        fields["controller"] = controller
+        if controller_params:
+            fields["controller_params"] = dict(controller_params)
     result = run_scenario(Scenario(**fields))
     payload = result.to_dict()
     payload["summary"] = result.summary()

@@ -7,6 +7,16 @@ sliding-window estimator the paper describes: request arrivals are counted
 in a moving window, per-file rates are the windowed averages, and a new time
 bin is triggered when any file's estimated rate moves by more than a
 threshold relative to the rate used for the current bin.
+
+Estimates divide by the *effective* window ``min(window, elapsed)`` (time
+since the first recorded arrival), so they are well-defined and unbiased in
+every degenerate regime: an empty window yields rate 0, zero elapsed time
+falls back to the configured window as the divisor (finite, never a
+division by zero), and a window longer than the observed stream no longer
+deflates the estimate by the unobserved remainder.
+
+For high-throughput streams see the vectorized, chunk-consuming
+generalization :class:`repro.control.estimator.StreamingRateEstimator`.
 """
 
 from __future__ import annotations
@@ -65,6 +75,8 @@ class SlidingWindowRateEstimator:
         self._bin_rates: Dict[str, float] = {}
         self._events: List[RateChangeEvent] = []
         self._current_bin = 1
+        self._first_time: Optional[float] = None
+        self._last_time: Optional[float] = None
 
     @property
     def window(self) -> float:
@@ -93,6 +105,9 @@ class SlidingWindowRateEstimator:
         if queue and time < queue[-1]:
             raise WorkloadError("arrivals must be recorded in non-decreasing time order")
         queue.append(time)
+        if self._first_time is None:
+            self._first_time = time
+        self._last_time = time if self._last_time is None else max(self._last_time, time)
         self._expire(file_id, time)
         return self._maybe_trigger(file_id, time)
 
@@ -102,15 +117,30 @@ class SlidingWindowRateEstimator:
         while queue and queue[0] < cutoff:
             queue.popleft()
 
+    def _effective_window(self, now: Optional[float] = None) -> float:
+        """The divisor for rate estimates: ``min(window, elapsed)``.
+
+        ``elapsed`` runs from the first recorded arrival; before anything
+        was recorded, or when no time has elapsed yet, the configured
+        window is used so the divisor is always finite and positive.
+        """
+        if self._first_time is None:
+            return self._window
+        if now is None:
+            now = self._last_time
+        elapsed = float(now) - self._first_time
+        effective = min(self._window, elapsed)
+        return effective if effective > 0.0 else self._window
+
     def estimated_rate(self, file_id: str, now: Optional[float] = None) -> float:
-        """Current windowed rate estimate of ``file_id`` (arrivals / window)."""
+        """Current rate estimate of ``file_id`` (arrivals / effective window)."""
         queue = self._arrivals.get(file_id)
         if not queue:
             return 0.0
         if now is not None:
             self._expire(file_id, now)
             queue = self._arrivals[file_id]
-        return len(queue) / self._window
+        return len(queue) / self._effective_window(now)
 
     def estimated_rates(self, now: Optional[float] = None) -> Dict[str, float]:
         """Windowed rate estimates of all observed files."""
@@ -130,7 +160,7 @@ class SlidingWindowRateEstimator:
         queue = self._arrivals[file_id]
         if len(queue) < self._min_observations:
             return None
-        estimate = len(queue) / self._window
+        estimate = len(queue) / self._effective_window(now)
         reference = self._bin_rates.get(file_id)
         if reference is None or reference == 0.0:
             # No reference yet: adopt the estimate silently.

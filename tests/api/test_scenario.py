@@ -148,13 +148,14 @@ class TestRegistries:
         assert set(list_policies()) == {"lru", "lfu", "arc", "ttl", "functional_static"}
         assert set(list_experiments()) == {
             "fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10", "fig11",
-            "fig12", "fig13", "tables", "scenario",
+            "fig12", "fig13", "fig14", "tables", "scenario",
         }
-        from repro.api import list_faults
+        from repro.api import list_controllers, list_faults
 
         assert set(list_faults()) == {
             "osd_crash", "degraded_read", "straggler", "repair_traffic",
         }
+        assert set(list_controllers()) == {"online", "cold", "periodic"}
 
     def test_lookups_return_specs(self):
         assert get_solver("projected_gradient").name == "projected_gradient"

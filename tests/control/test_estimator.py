@@ -1,0 +1,158 @@
+"""Tests for the streaming rate estimator and its drift trigger."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control import DriftEvent, StreamingRateEstimator
+from repro.exceptions import ControlError
+
+
+def uniform_chunk(start, stop, rate_per_file, num_files):
+    """A deterministic chunk with exact per-file rate ``rate_per_file``."""
+    per_file = int(round((stop - start) * rate_per_file))
+    times = np.sort(
+        np.tile(np.linspace(start, stop, per_file, endpoint=False), num_files)
+    )
+    positions = np.tile(np.arange(num_files), per_file)
+    return times, positions
+
+
+class TestValidation:
+    def test_constructor_rejects_bad_knobs(self):
+        with pytest.raises(ControlError):
+            StreamingRateEstimator(num_files=0, window=10.0)
+        with pytest.raises(ControlError):
+            StreamingRateEstimator(num_files=3, window=0.0)
+        with pytest.raises(ControlError):
+            StreamingRateEstimator(num_files=3, window=10.0, change_threshold=0.0)
+        with pytest.raises(ControlError):
+            StreamingRateEstimator(num_files=3, window=10.0, min_observations=0)
+        with pytest.raises(ControlError):
+            StreamingRateEstimator(num_files=3, window=10.0, file_ids=["a"])
+
+    def test_observe_rejects_malformed_chunks(self):
+        estimator = StreamingRateEstimator(num_files=3, window=10.0)
+        with pytest.raises(ControlError):
+            estimator.observe(np.array([1.0, 2.0]), np.array([0]))
+        with pytest.raises(ControlError):
+            estimator.observe(np.array([-1.0]), np.array([0]))
+        with pytest.raises(ControlError):
+            estimator.observe(np.array([2.0, 1.0]), np.array([0, 1]))
+        with pytest.raises(ControlError):
+            estimator.observe(np.array([1.0]), np.array([3]))
+        estimator.observe(np.array([5.0]), np.array([0]))
+        with pytest.raises(ControlError):
+            # Chunks must arrive in non-decreasing time order.
+            estimator.observe(np.array([4.0]), np.array([0]))
+
+    def test_freeze_rejects_wrong_shape(self):
+        estimator = StreamingRateEstimator(num_files=3, window=10.0)
+        with pytest.raises(ControlError):
+            estimator.freeze_bin_rates(np.ones(2))
+
+
+class TestDegeneratePaths:
+    def test_empty_chunk_is_a_no_op(self):
+        estimator = StreamingRateEstimator(num_files=2, window=10.0)
+        assert estimator.observe(np.array([]), np.array([])) is None
+        assert np.all(estimator.rates() == 0.0)
+
+    def test_rates_before_any_observation_are_zero_and_finite(self):
+        estimator = StreamingRateEstimator(num_files=4, window=10.0)
+        rates = estimator.rates()
+        assert rates.shape == (4,)
+        assert np.all(rates == 0.0)
+
+    def test_single_instantaneous_chunk_divides_by_full_window(self):
+        # Zero elapsed time must not divide by zero: the full window is
+        # used as the divisor instead.
+        estimator = StreamingRateEstimator(num_files=2, window=10.0)
+        estimator.observe(np.array([0.0, 0.0]), np.array([0, 0]))
+        rates = estimator.rates()
+        assert np.isfinite(rates).all()
+        assert rates[0] == pytest.approx(2 / 10.0)
+
+    def test_partial_window_uses_elapsed_time(self):
+        # 20 arrivals in the first 100 s of a 600 s window estimate the
+        # true 0.2/s rate, not 20/600.
+        estimator = StreamingRateEstimator(num_files=1, window=600.0)
+        times = np.linspace(0.0, 100.0, 20, endpoint=False)
+        estimator.observe(times, np.zeros(20, dtype=np.int64))
+        assert estimator.rates(now=100.0)[0] == pytest.approx(0.2, rel=1e-9)
+
+    def test_expiry_drops_old_chunks(self):
+        estimator = StreamingRateEstimator(num_files=1, window=10.0)
+        estimator.observe(np.array([0.0, 1.0]), np.array([0, 0]))
+        estimator.observe(np.array([20.0]), np.array([0]))
+        # The first chunk (last arrival at t=1) is outside [10, 20].
+        assert estimator.rates()[0] == pytest.approx(1 / 10.0)
+
+
+class TestDriftTrigger:
+    def test_fires_on_rate_jump(self):
+        estimator = StreamingRateEstimator(
+            num_files=2,
+            window=100.0,
+            change_threshold=0.5,
+            min_observations=5,
+            file_ids=["a", "b"],
+        )
+        times, positions = uniform_chunk(0.0, 100.0, 0.1, 2)
+        assert estimator.observe(times, positions) is None
+        estimator.freeze_bin_rates()
+        # File 0 triples its rate; file 1 stays put.  Offset file 1's
+        # arrivals so no timestamps tie across the two files.
+        raw_times = np.concatenate(
+            [
+                np.linspace(100.0, 200.0, 30, endpoint=False),
+                np.linspace(100.5, 200.5, 10, endpoint=False),
+            ]
+        )
+        raw_positions = np.concatenate(
+            [np.zeros(30, dtype=np.int64), np.ones(10, dtype=np.int64)]
+        )
+        order = np.argsort(raw_times, kind="stable")
+        event = estimator.observe(raw_times[order], raw_positions[order])
+        assert isinstance(event, DriftEvent)
+        assert event.bin_index == 2
+        assert event.file_id in ("a", "b")
+        assert event.relative_change > 0.5
+        assert estimator.current_bin == 2
+        assert estimator.events == [event]
+
+    def test_min_observations_gates_the_trigger(self):
+        estimator = StreamingRateEstimator(
+            num_files=1, window=100.0, change_threshold=0.5, min_observations=50
+        )
+        times, positions = uniform_chunk(0.0, 100.0, 0.1, 1)
+        estimator.observe(times, positions)
+        estimator.freeze_bin_rates()
+        # A large jump with only 10 in-window observations stays silent
+        # once the old chunk expires.
+        assert (
+            estimator.observe(
+                np.linspace(300.0, 400.0, 10), np.zeros(10, dtype=np.int64)
+            )
+            is None
+        )
+
+    def test_unreferenced_files_adopt_silently(self):
+        estimator = StreamingRateEstimator(
+            num_files=2, window=100.0, change_threshold=0.5, min_observations=5
+        )
+        # No freeze: the first eligible estimate becomes the reference
+        # without firing.
+        times, positions = uniform_chunk(0.0, 100.0, 0.1, 2)
+        assert estimator.observe(times, positions) is None
+        assert np.all(estimator.reference_rates > 0.0)
+
+    def test_freeze_floor_applies(self):
+        estimator = StreamingRateEstimator(num_files=3, window=10.0)
+        frozen = estimator.freeze_bin_rates(
+            np.array([0.0, 0.5, 0.0]), floor=0.01
+        )
+        assert frozen.min() == pytest.approx(0.01)
+        assert frozen[1] == pytest.approx(0.5)
+        assert np.array_equal(estimator.reference_rates, frozen)

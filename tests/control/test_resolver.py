@@ -1,0 +1,127 @@
+"""Tests for the warm-started online resolver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control import OnlineResolver
+from repro.control.resolve import ActiveSetProjection, round_allocation
+from repro.core.vectorized import VectorizedSystem
+from repro.exceptions import ControlError
+
+
+def model_rates(model):
+    return np.asarray([spec.arrival_rate for spec in model.files])
+
+
+class TestBootstrap:
+    def test_bootstrap_establishes_carried_state(self, small_model):
+        resolver = OnlineResolver(small_model)
+        assert not resolver.bootstrapped
+        report = resolver.bootstrap()
+        assert resolver.bootstrapped
+        assert report.kind == "bootstrap"
+        assert not report.warm
+        assert report.relaxed_objective > 0.0
+        assert report.objective > 0.0
+        assert report.placement is not None
+
+    def test_integral_allocation_respects_capacity_and_k(self, small_model):
+        resolver = OnlineResolver(small_model)
+        report = resolver.bootstrap()
+        cached = report.cached_chunks
+        k_values = resolver.system.k_values
+        assert cached.sum() <= small_model.cache_capacity
+        assert np.all(cached >= 0)
+        assert np.all(cached <= k_values)
+        # The pinned scheduling probabilities realize exactly that
+        # allocation: per-file pair sums equal k_i - cached_i.
+        sums = resolver.system.file_sums(report.pinned_pi)
+        assert np.allclose(sums, k_values - cached, atol=1e-6)
+
+    def test_placement_build_can_be_disabled(self, small_model):
+        resolver = OnlineResolver(small_model, build_placements=False)
+        report = resolver.bootstrap()
+        assert report.placement is None
+        assert report.cached_chunks.sum() >= 0
+
+
+class TestWarmResolve:
+    def test_warm_resolve_reuses_carried_state(self, small_model):
+        resolver = OnlineResolver(small_model)
+        resolver.bootstrap()
+        rates = model_rates(small_model) * 1.1
+        report = resolver.resolve(rates, warm=True)
+        assert report.kind == "warm"
+        assert report.warm
+        assert 0.0 < report.fraction_frozen < 1.0
+
+    def test_warm_falls_back_to_cold_without_state(self, small_model):
+        resolver = OnlineResolver(small_model)
+        report = resolver.resolve(model_rates(small_model), warm=True)
+        assert report.kind == "cold"
+        assert not report.warm
+
+    def test_commit_false_preserves_carried_state(self, small_model):
+        resolver = OnlineResolver(small_model)
+        resolver.bootstrap()
+        rates = model_rates(small_model) * 1.3
+        probe = resolver.resolve(rates, warm=False, commit=False)
+        # The comparator ran cold against the carried z without touching
+        # it: an identical warm resolve before/after must agree exactly.
+        first = resolver.resolve(rates, warm=True, commit=False)
+        second = resolver.resolve(rates, warm=True, commit=False)
+        assert first.relaxed_objective == second.relaxed_objective
+        assert np.array_equal(first.cached_chunks, second.cached_chunks)
+        assert probe.kind == "cold"
+
+    def test_validates_knobs(self, small_model):
+        with pytest.raises(ControlError):
+            OnlineResolver(small_model, parity_rtol=0.0)
+        with pytest.raises(ControlError):
+            OnlineResolver(small_model, max_sweeps=-1)
+
+
+class TestActiveSetProjection:
+    def test_rejects_wrong_reference_shape(self, small_model):
+        system = VectorizedSystem(small_model)
+        with pytest.raises(ControlError):
+            ActiveSetProjection(system, np.zeros(3))
+
+    def test_projection_matches_full_space_on_free_coordinates(self, small_model):
+        system = VectorizedSystem(small_model)
+        lower = np.zeros(system.num_files)
+        upper = system.k_values.copy()
+        reference = system.project(system.initial_pi(), lower, upper)
+        projection = ActiveSetProjection(system, reference, epsilon=1e-9)
+        if not projection.usable:
+            pytest.skip("no frozen coordinates on this model")
+        rng = np.random.default_rng(3)
+        point = reference + 0.01 * rng.standard_normal(reference.size)
+        projected = projection(point)
+        # Feasibility: box bounds, per-file sums within [0, k], total at
+        # the required capacity-complement.
+        assert np.all(projected >= -1e-9) and np.all(projected <= 1 + 1e-9)
+        sums = system.file_sums(projected)
+        assert np.all(sums <= system.k_values + 1e-6)
+        assert projected.sum() == pytest.approx(
+            system.required_total(), abs=1e-6
+        )
+
+
+class TestRounding:
+    def test_round_allocation_invariants(self, small_model):
+        system = VectorizedSystem(small_model)
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            pi = np.clip(rng.random(system.num_pairs), 0.0, 1.0)
+            rounded = round_allocation(system, pi)
+            assert rounded.sum() <= system.cache_capacity
+            assert np.all(rounded >= 0)
+            assert np.all(rounded <= system.k_values)
+            # Never rounds above the fractional total the solver chose.
+            fractional = np.clip(
+                system.k_values - system.file_sums(pi), 0.0, system.k_values
+            ).sum()
+            assert rounded.sum() <= np.floor(fractional + 1e-9)

@@ -1,0 +1,121 @@
+"""End-to-end wiring: Scenario / Session / CLI faces of the control loop."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import Scenario, run_scenario
+from repro.api.serialize import json_dumps
+from repro.exceptions import ScenarioError
+
+
+def control_scenario(**overrides):
+    fields = dict(
+        workload="drift",
+        num_files=12,
+        cache_capacity=12,
+        simulate=False,
+        seed=3,
+        horizon=4000.0,
+        workload_params={"shift_every": 800.0},
+        controller="online",
+        controller_params={"window": 600.0, "churn_budget": 4},
+    )
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+class TestScenarioValidation:
+    def test_controller_params_require_a_controller(self):
+        with pytest.raises(ScenarioError, match="controller"):
+            Scenario(controller_params={"window": 600.0})
+
+    def test_unknown_controller_is_rejected(self):
+        with pytest.raises(Exception):
+            Scenario(controller="no-such-controller")
+
+    def test_unknown_controller_param_is_rejected(self):
+        with pytest.raises(ScenarioError, match="interval"):
+            Scenario(controller="online", controller_params={"interval": 60.0})
+
+    def test_describe_and_roundtrip(self):
+        scenario = control_scenario()
+        assert "controller=online" in scenario.describe()
+        clone = Scenario.from_dict(scenario.to_dict())
+        assert clone == scenario
+        assert hash(clone) == hash(scenario)
+        assert clone.controller_params["churn_budget"] == 4
+
+
+class TestSessionControlStage:
+    def test_run_scenario_attaches_control(self):
+        result = run_scenario(control_scenario())
+        control = result.control
+        assert control is not None
+        assert control.num_bins >= 2
+        assert control.churn_budget == 4
+        assert "controller (online)" in result.summary()
+
+    def test_no_controller_means_no_control_stage(self):
+        result = run_scenario(
+            Scenario(
+                workload="drift",
+                num_files=12,
+                cache_capacity=12,
+                simulate=False,
+                horizon=2000.0,
+            )
+        )
+        assert result.control is None
+        assert "controller" not in result.summary()
+
+    def test_result_payload_is_json_safe(self):
+        result = run_scenario(control_scenario())
+        payload = result.to_dict()
+        assert payload["control"]["controller"] == "online"
+        decoded = json.loads(json_dumps(payload))
+        assert decoded["control"]["num_bins"] == result.control.num_bins
+
+    def test_periodic_controller_through_the_session(self):
+        result = run_scenario(
+            control_scenario(
+                controller="periodic",
+                controller_params={"interval": 1000.0},
+            )
+        )
+        assert result.control.num_drift_events == 0
+        assert result.control.num_bins >= 3
+
+
+class TestCLI:
+    def test_listing_shows_the_controllers_section(self):
+        from repro.experiments.runner import format_listing
+
+        listing = format_listing()
+        assert "Registered controllers:" in listing
+        assert "online" in listing and "periodic" in listing
+
+    def test_fig14_is_registered_with_both_scales(self):
+        from repro.api import get_experiment
+
+        spec = get_experiment("fig14")
+        assert set(spec.scale_names()) == {"fast", "paper"}
+        assert spec.accepts("controller")
+
+    def test_scenario_experiment_forwards_the_controller(self):
+        from repro.experiments.runner import run_experiment
+
+        report = run_experiment(
+            "scenario",
+            scale="fast",
+            workload="drift",
+            workload_params={"shift_every": 800.0},
+            controller="online",
+            controller_params={"window": 600.0, "churn_budget": 4},
+            as_json=True,
+        )
+        payload = json.loads(report)
+        assert payload["result"]["control"]["controller"] == "online"
+        assert payload["result"]["control"]["num_bins"] >= 1

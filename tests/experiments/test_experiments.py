@@ -201,7 +201,7 @@ class TestFig11ArrivalRates:
 class TestRunner:
     ALL_NAMES = {
         "fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10", "fig11",
-        "fig12", "fig13", "tables", "scenario",
+        "fig12", "fig13", "fig14", "tables", "scenario",
     }
 
     def test_registry_covers_all_figures_and_tables(self):
