@@ -7,9 +7,12 @@ Set the environment variable ``SPROUT_BENCH_SCALE=paper`` to run the
 full-size configurations instead.
 
 Besides the human-readable report, every benchmark dumps a machine-readable
-``BENCH_<name>.json`` at the repository root (wall time plus benchmark-
-specific metrics such as requests/second or the converged objective) so the
-performance trajectory can be tracked across revisions.
+``BENCH_<name>.json`` under ``benchmarks/out/`` (wall time plus benchmark-
+specific metrics such as requests/second or the converged objective).  The
+copies at the repository root are the committed *gate records*; refresh
+them deliberately with ``python benchmarks/compare.py promote``, which
+copies a fresh file over the committed one only when a gate verdict or a
+gate-relevant field moved -- raw timing noise never lands in the diff.
 """
 
 from __future__ import annotations
@@ -23,8 +26,11 @@ import pytest
 
 from repro.api.serialize import write_json
 
-#: Repository root, where the ``BENCH_<name>.json`` files land.
+#: Repository root, where the committed ``BENCH_<name>.json`` gate records live.
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Where fresh benchmark runs write their JSON (gitignored).
+OUT_DIR = Path(__file__).resolve().parent / "out"
 
 
 def bench_scale() -> str:
@@ -45,13 +51,16 @@ def print_report(title: str, body: str) -> None:
 
 
 def write_bench_json(name: str, payload: Dict[str, Any]) -> Path:
-    """Write one benchmark's metrics to ``BENCH_<name>.json`` at the repo root.
+    """Write one benchmark's metrics to ``benchmarks/out/BENCH_<name>.json``.
 
     Serialization goes through :func:`repro.api.serialize.write_json`, the
     same uniform serializer behind ``RunResult.to_json`` and the CLI's
     ``--json`` mode, so numpy scalars/arrays in metric dicts are handled.
+    ``benchmarks/compare.py`` checks the gate fields of these files and
+    promotes them to the committed root records only when a gate moves.
     """
-    return write_json(REPO_ROOT / f"BENCH_{name}.json", payload)
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    return write_json(OUT_DIR / f"BENCH_{name}.json", payload)
 
 
 def timed_run(

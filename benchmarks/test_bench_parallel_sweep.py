@@ -1,0 +1,134 @@
+"""Benchmark: the parallel sweep executor and result cache on the Fig. 11 sweep.
+
+Three gates on ``repro.exec`` (all recorded in ``BENCH_parallel_sweep.json``):
+
+* **Determinism** -- the ``jobs=4`` sweep must be bit-identical (same
+  serialized JSON) to the ``jobs=1`` sweep.  Enforced unconditionally.
+* **Zero solver calls when cached** -- a second invocation of the same
+  sweep against a warm :class:`~repro.exec.ResultCache` must complete
+  without a single :meth:`CacheOptimizer.optimize` call, and must be
+  >= 2.5x faster than the uncached serial sweep.  Enforced
+  unconditionally (cache hits are CPU-count independent).
+* **Parallel speedup** -- ``jobs=4`` must beat ``jobs=1`` by >= 2.5x
+  wall-clock.  A process pool cannot beat serial on a single core, so
+  this gate is enforced only where >= 4 CPUs are available (the
+  ``parallel_gate_enforced`` field records whether it was); the measured
+  speedup is always written to the JSON either way.
+
+At the default fast scale the sweep is a reduced six-point Fig. 11 grid;
+``SPROUT_BENCH_SCALE=paper`` runs the paper's five-rate full-size sweep.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import print_report, write_bench_json
+
+from repro.api import get_experiment
+from repro.api.serialize import json_dumps, to_jsonable
+from repro.core.algorithm import CacheOptimizer
+from repro.exec import ResultCache, available_cpus
+
+SPEC = get_experiment("fig11")
+
+REQUIRED_SPEEDUP = 2.5
+JOBS = 4
+
+#: Reduced sweep for the fast benchmark scale: six rate points (enough for
+#: four workers to see real fan-out) on a smaller emulated cluster.
+FAST_OVERRIDES = {
+    "aggregate_rates": (0.5, 1.0, 2.0, 4.0, 6.0, 8.0),
+    "num_objects": 400,
+    "duration_s": 300.0,
+}
+
+
+def _run(scale: str, jobs: int, cache: ResultCache | None):
+    overrides = {} if scale == "paper" else dict(FAST_OVERRIDES)
+    return SPEC.run(scale=scale, simulate=True, jobs=jobs, cache=cache, **overrides)
+
+
+def _fingerprint(result) -> str:
+    return json_dumps(to_jsonable(result))
+
+
+def test_parallel_sweep(benchmark, scale, monkeypatch, tmp_path):
+    cpus = available_cpus()
+
+    # Serial reference (timed under pytest-benchmark like every other gate).
+    start = time.perf_counter()
+    serial = benchmark.pedantic(_run, args=(scale, 1, None), iterations=1, rounds=1)
+    serial_seconds = time.perf_counter() - start
+
+    # Parallel run of the identical sweep.
+    start = time.perf_counter()
+    parallel = _run(scale, JOBS, None)
+    parallel_seconds = time.perf_counter() - start
+    parallel_speedup = serial_seconds / parallel_seconds
+    bit_equal = _fingerprint(serial) == _fingerprint(parallel)
+
+    # Cache gate: warm the cache once, then re-run the sweep with the
+    # solver instrumented -- every point must be a hit, so the solver
+    # must never run and the sweep must be >= 2.5x faster than serial.
+    cache = ResultCache(tmp_path / "cache")
+    warmed = _run(scale, 1, cache)
+    solver_calls = {"count": 0}
+    original_optimize = CacheOptimizer.optimize
+
+    def counting_optimize(self, *args, **kwargs):
+        solver_calls["count"] += 1
+        return original_optimize(self, *args, **kwargs)
+
+    monkeypatch.setattr(CacheOptimizer, "optimize", counting_optimize)
+    start = time.perf_counter()
+    cached = _run(scale, 1, cache)
+    cache_hit_seconds = time.perf_counter() - start
+    monkeypatch.setattr(CacheOptimizer, "optimize", original_optimize)
+    cache_hit_speedup = serial_seconds / cache_hit_seconds
+    cached_bit_equal = _fingerprint(warmed) == _fingerprint(cached)
+
+    parallel_gate_enforced = cpus >= JOBS
+    write_bench_json(
+        "parallel_sweep",
+        {
+            "name": "parallel_sweep",
+            "scale": scale,
+            "num_points": len(serial.comparisons),
+            "jobs": JOBS,
+            "available_cpus": cpus,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "parallel_speedup": parallel_speedup,
+            "parallel_gate_enforced": parallel_gate_enforced,
+            "bit_equal": bit_equal,
+            "cache_hit_seconds": cache_hit_seconds,
+            "cache_hit_speedup": cache_hit_speedup,
+            "cached_solver_calls": solver_calls["count"],
+            "cached_bit_equal": cached_bit_equal,
+            "cache_entries": len(cache),
+            "required_speedup": REQUIRED_SPEEDUP,
+            "required_cached_solver_calls": 0,
+        },
+    )
+    print_report(
+        "Parallel sweep -- fig11 over sweep_map (jobs=1 vs jobs=4 vs cached)",
+        f"{len(serial.comparisons)} rate points on {cpus} CPU(s):\n"
+        f"  jobs=1   {serial_seconds:8.3f} s\n"
+        f"  jobs={JOBS}   {parallel_seconds:8.3f} s "
+        f"({parallel_speedup:.2f}x, gate >= {REQUIRED_SPEEDUP}x "
+        f"{'enforced' if parallel_gate_enforced else 'recorded only: < 4 CPUs'}; "
+        f"bit-equal: {bit_equal})\n"
+        f"  cached   {cache_hit_seconds:8.3f} s "
+        f"({cache_hit_speedup:.1f}x, {solver_calls['count']} solver calls, "
+        f"bit-equal: {cached_bit_equal})",
+    )
+
+    # Determinism and cache gates hold everywhere.
+    assert bit_equal, "jobs=4 sweep is not bit-identical to jobs=1"
+    assert cached_bit_equal, "cached sweep is not bit-identical to the fresh one"
+    assert solver_calls["count"] == 0, "cached sweep re-ran the solver"
+    assert cache_hit_speedup >= REQUIRED_SPEEDUP
+    # The wall-clock fan-out gate needs actual cores to fan out onto.
+    if parallel_gate_enforced:
+        assert parallel_speedup >= REQUIRED_SPEEDUP

@@ -18,6 +18,8 @@ Run with::
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.api import Scenario, Session
 
 
@@ -63,8 +65,11 @@ def main() -> None:
     )
 
     # --- Uniform machine-readable output (same serializer as the CLI's
-    # --json mode and the BENCH_*.json writers).
-    path = optimized.write_json("quickstart_run.json")
+    # --json mode and the BENCH_*.json writers).  Generated artifacts go
+    # under out/, which is gitignored.
+    out_dir = Path(__file__).resolve().parent.parent / "out"
+    out_dir.mkdir(exist_ok=True)
+    path = optimized.write_json(out_dir / "quickstart_run.json")
     print(f"\nfull result written to {path}")
 
 

@@ -18,7 +18,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.4.0",
+    version="1.5.0",
     description=(
         "Reproduction of 'Sprout: a functional caching approach to minimize "
         "service latency in erasure-coded storage' (ICDCS 2016)"

@@ -18,6 +18,9 @@ The package is organised as:
 * :mod:`repro.cluster` -- Ceph-like cluster emulation (equivalent-code pools,
   LRU cache tier, measured device latencies).
 * :mod:`repro.workloads` -- the paper's workload tables and generators.
+* :mod:`repro.exec` -- parallel sweep execution (``sweep_map`` over a
+  process pool with deterministic per-point seeds) and the
+  content-addressed scenario result cache.
 * :mod:`repro.experiments` -- one registered experiment per table/figure.
 
 Quickstart::
@@ -49,9 +52,10 @@ from repro.api.registry import (
     register_solver,
     register_workload,
 )
+from repro.exec import ResultCache, sweep_map, sweep_scan
 from repro.policies import ChunkCachingPolicy
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     # facade
@@ -68,6 +72,10 @@ __all__ = [
     "register_policy",
     "register_experiment",
     "ChunkCachingPolicy",
+    # parallel execution + result cache
+    "sweep_map",
+    "sweep_scan",
+    "ResultCache",
     # core building blocks
     "CacheOptimizer",
     "optimize_cache_placement",

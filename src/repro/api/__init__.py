@@ -83,16 +83,40 @@ from repro.api.registry import (
 )
 from repro.api.scenario import OPTIMAL_POLICY, SCALES, Scenario
 from repro.api.serialize import json_dumps, to_jsonable, write_json
-from repro.api.session import RunResult, Session, run_scenario
+from repro.api.session import CachedRunResult, RunResult, Session, run_scenario
+from repro.exec import (
+    CacheStats,
+    ResultCache,
+    SweepSpec,
+    available_cpus,
+    default_cache,
+    default_cache_dir,
+    resolve_cache,
+    spawn_point_seeds,
+    sweep_map,
+    sweep_scan,
+)
 
 __all__ = [
     # scenario + facade
     "Scenario",
     "Session",
     "RunResult",
+    "CachedRunResult",
     "run_scenario",
     "OPTIMAL_POLICY",
     "SCALES",
+    # parallel execution + result cache (repro.exec)
+    "SweepSpec",
+    "sweep_map",
+    "sweep_scan",
+    "available_cpus",
+    "spawn_point_seeds",
+    "ResultCache",
+    "CacheStats",
+    "default_cache",
+    "default_cache_dir",
+    "resolve_cache",
     # experiments
     "ExperimentSpec",
     "register_experiment",

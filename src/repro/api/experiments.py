@@ -101,6 +101,9 @@ class ExperimentSpec:
         "fault_params",
         "controller",
         "controller_params",
+        "jobs",
+        "cache",
+        "progress",
     )
 
     def run(self, scale: str = "fast", **overrides: Any) -> Any:

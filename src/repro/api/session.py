@@ -34,6 +34,7 @@ from repro.api.registry import (
 from repro.api.scenario import Scenario
 from repro.api.serialize import json_dumps, write_json
 from repro.cluster.replay import ReplayResult
+from repro.exec.cache import CacheLike, ResultCache, resolve_cache, scenario_key
 from repro.control.controller import ControlResult
 from repro.core.algorithm import OptimizationResult
 from repro.core.model import StorageSystemModel
@@ -214,20 +215,90 @@ class RunResult:
         return write_json(path, self.to_dict())
 
 
+@dataclass
+class CachedRunResult:
+    """A scenario result served from the content-addressed cache.
+
+    Wraps the stored ``RunResult.to_dict()`` payload behind the same
+    reporting surface (``objective``, ``timings``, ``to_dict``/``to_json``
+    /``write_json``, ``summary``), so cached and fresh runs serialize
+    identically: ``json_dumps(fresh.to_dict()) ==
+    json_dumps(cached.to_dict())``.  The rich in-memory stages
+    (``placement``, ``simulation``, ...) are not reconstructed -- code
+    needing those objects should run with the cache off.
+    """
+
+    scenario: Scenario
+    payload: Dict[str, Any]
+    cache_key: str
+
+    #: Cached results always announce themselves (fresh RunResults lack
+    #: the attribute, so ``getattr(result, "from_cache", False)`` works).
+    from_cache: bool = True
+
+    @property
+    def objective(self) -> float:
+        """The analytical mean-latency bound of the cached placement."""
+        return float(self.payload["objective"])
+
+    @property
+    def timings(self) -> Dict[str, float]:
+        """Wall-clock timings of the original (cache-missing) run."""
+        return dict(self.payload.get("timings", {}))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The stored payload, bit-identical to the original run's."""
+        return dict(self.payload)
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize :meth:`to_dict` as a JSON string."""
+        return json_dumps(self.to_dict(), indent=indent)
+
+    def write_json(self, path: Any) -> Any:
+        """Write :meth:`to_dict` to ``path`` and return the path."""
+        return write_json(path, self.to_dict())
+
+    def summary(self) -> str:
+        """Human-readable summary of the cached run."""
+        return (
+            f"{self.scenario.describe()}\n"
+            f"  analytical bound: {self.objective:.4f} "
+            f"(served from cache, key {self.cache_key[:12]}...)"
+        )
+
+
 class Session:
     """Reusable executor of scenarios.
 
     A session keeps the scenario history (``session.results``) and is the
     natural place for cross-run reuse; scenarios themselves stay immutable.
+
+    Parameters
+    ----------
+    cache:
+        Content-addressed result cache for scenario runs: ``True`` uses
+        ``~/.cache/repro`` (or ``$REPRO_CACHE_DIR``), a path selects that
+        directory, a prebuilt :class:`~repro.exec.ResultCache` is shared.
+        A hit skips the whole pipeline -- zero solver calls -- and returns
+        a :class:`CachedRunResult` whose ``to_dict`` is bit-identical to
+        the original run's.  Keys cover the scenario (including seed and
+        backend) and the package version, so upgrades and backend
+        switches re-run.
     """
 
-    def __init__(self) -> None:
-        self._results: list[RunResult] = []
+    def __init__(self, cache: CacheLike = None) -> None:
+        self._results: list[Any] = []
+        self._cache: Optional[ResultCache] = resolve_cache(cache)
 
     @property
-    def results(self) -> list[RunResult]:
+    def results(self) -> list[Any]:
         """All results produced by this session, in run order."""
         return list(self._results)
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        """The session's result cache (``None`` when caching is off)."""
+        return self._cache
 
     # ------------------------------------------------------------------
     # Pipeline stages
@@ -439,7 +510,7 @@ class Session:
     # Entry point
     # ------------------------------------------------------------------
 
-    def run(self, scenario: Scenario) -> RunResult:
+    def run(self, scenario: Scenario) -> "RunResult | CachedRunResult":
         """Execute optimize -> schedule -> simulate for one scenario.
 
         When ``scenario.faults`` names a fault schedule, a fault-aware
@@ -451,7 +522,20 @@ class Session:
 
         The scenario's kernel backend is active for the whole pipeline, so
         every queueing kernel the stages reach computes in that namespace.
+        With the session cache on, a key hit returns a
+        :class:`CachedRunResult` without running any stage.
         """
+        key: Optional[str] = None
+        if self._cache is not None:
+            key = scenario_key(self._cache, scenario)
+            stored = self._cache.get(key)
+            if stored is not None:
+                cached = CachedRunResult(
+                    scenario=scenario, payload=stored, cache_key=key
+                )
+                self._results.append(cached)
+                return cached
+
         timings: Dict[str, float] = {}
         started = time.perf_counter()
 
@@ -503,6 +587,8 @@ class Session:
             control=control,
             timings=timings,
         )
+        if self._cache is not None and key is not None:
+            self._cache.put(key, result.to_dict())
         self._results.append(result)
         return result
 
@@ -510,17 +596,22 @@ class Session:
 def run_scenario(
     scenario: Optional[Scenario] = None,
     session: Optional[Session] = None,
+    cache: CacheLike = None,
     **fields: Any,
-) -> RunResult:
+) -> "RunResult | CachedRunResult":
     """Run one scenario end-to-end and return its :class:`RunResult`.
 
     Accepts either a prebuilt :class:`Scenario` (optionally overridden by
     keyword ``fields``) or the scenario fields directly::
 
         run_scenario(num_files=60, cache_capacity=30, engine="batch")
+
+    ``cache`` configures the one-shot session's result cache (ignored
+    when an explicit ``session`` is passed -- the session's own cache
+    configuration governs).
     """
     if scenario is None:
         scenario = Scenario(**fields)
     elif fields:
         scenario = scenario.replace(**fields)
-    return (session or Session()).run(scenario)
+    return (session or Session(cache=cache)).run(scenario)

@@ -1,0 +1,315 @@
+"""``sweep_map`` / ``sweep_scan``: the one way experiments iterate points.
+
+:func:`sweep_map` fans a pure per-point function out over a
+``ProcessPoolExecutor`` (``fork`` start method) with chunked dispatch,
+optional per-point result caching, and centralized ``completed/total``
+progress reporting.  ``jobs=1`` — and any platform without ``fork`` —
+runs serially in-process through the *same* code path, which is what
+makes the bit-equality guarantee testable: each point is computed only
+from ``(point, index, per-point seed)``, and ``ordered=True`` reassembles
+results in point order regardless of completion order.
+
+:func:`sweep_scan` is the sequential sibling for warm-started chains
+(Figs. 3/4/5) where each point consumes state carried from the previous
+one; it exists so those experiments share the progress/labeling plumbing
+without pretending to be parallelizable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.exec.cache import CacheLike, ResultCache, resolve_cache
+
+ProgressCallback = Callable[[int, int, Any], None]
+ProgressLike = Union[None, bool, ProgressCallback]
+
+
+def available_cpus() -> int:
+    """CPUs this process may use (affinity-aware, never below 1)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:
+        return max(1, os.cpu_count() or 1)
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists on this platform.
+
+    Worker warm-up relies on inheriting the parent's module state cheaply
+    and the determinism tests rely on workers not re-running import-time
+    code differently, so the pool is only used where ``fork`` is
+    available; everywhere else ``sweep_map`` degrades to the serial path.
+    """
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - defensive
+        return False
+
+
+def resolve_jobs(jobs: Optional[int], num_points: int) -> int:
+    """The effective worker count: ``None`` means all cores, capped at
+    the number of points, forced to 1 when ``fork`` is unavailable."""
+    if num_points <= 0:
+        return 1
+    effective = available_cpus() if jobs is None else int(jobs)
+    if effective < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs!r}")
+    effective = min(effective, num_points)
+    if effective > 1 and not fork_available():
+        effective = 1
+    return effective
+
+
+def spawn_point_seeds(seed: int, num_points: int) -> List[int]:
+    """One independent seed per point, keyed by point index.
+
+    ``SeedSequence(seed).spawn(n)`` hands child ``i`` the same entropy no
+    matter which worker runs it or in which order, so per-point RNGs are
+    identical under ``jobs=1`` and ``jobs=N``.
+    """
+    children = np.random.SeedSequence(seed).spawn(num_points)
+    return [int(child.generate_state(1, dtype=np.uint64)[0]) for child in children]
+
+
+def default_progress(label: Optional[str]) -> ProgressCallback:
+    """The built-in reporter: one ``[label] completed/total`` line per
+    point on stderr, emitted only from the parent process so parallel
+    runs never interleave worker output."""
+
+    prefix = f"[{label}] " if label else ""
+
+    def report(completed: int, total: int, point: Any) -> None:
+        sys.stderr.write(f"{prefix}{completed}/{total} points done\n")
+        sys.stderr.flush()
+
+    return report
+
+
+def _resolve_progress(
+    progress: ProgressLike, label: Optional[str]
+) -> Optional[ProgressCallback]:
+    if progress is None or progress is False:
+        return None
+    if progress is True:
+        return default_progress(label)
+    return progress
+
+
+def _resolve_chunk_size(
+    chunk_size: Optional[int], num_points: int, jobs: int
+) -> int:
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size!r}")
+        return chunk_size
+    # Aim for ~4 chunks per worker: enough slack for load balancing
+    # without paying per-point pickle round-trips on large grids.
+    return max(1, num_points // (jobs * 4))
+
+
+def _run_chunk(
+    fn: Callable[..., Any], chunk: Sequence[Tuple[int, Any]]
+) -> List[Tuple[int, Any]]:
+    """Execute a chunk of (index, point) pairs; runs inside the worker."""
+    return [(index, fn(point)) for index, point in chunk]
+
+
+@dataclass
+class SweepSpec:
+    """A declarative sweep: per-point function, points and execution knobs.
+
+    ``sweep_map(fn, points, ...)`` is the functional spelling;
+    ``SweepSpec(...).run()`` is the object spelling used when a sweep is
+    built in one place and executed in another (CLI, benchmarks).
+    """
+
+    fn: Callable[..., Any]
+    points: Sequence[Any]
+    jobs: Optional[int] = None
+    ordered: bool = True
+    chunk_size: Optional[int] = None
+    label: Optional[str] = None
+    progress: ProgressLike = None
+    cache: CacheLike = None
+    cache_key: Optional[Callable[[ResultCache, Any, int], str]] = None
+    encode: Optional[Callable[[Any], Any]] = None
+    decode: Optional[Callable[[Any], Any]] = None
+
+    def run(self) -> List[Any]:
+        return sweep_map(
+            self.fn,
+            self.points,
+            jobs=self.jobs,
+            ordered=self.ordered,
+            chunk_size=self.chunk_size,
+            label=self.label,
+            progress=self.progress,
+            cache=self.cache,
+            cache_key=self.cache_key,
+            encode=self.encode,
+            decode=self.decode,
+        )
+
+
+def sweep_map(
+    fn: Callable[..., Any],
+    points: Sequence[Any],
+    *,
+    jobs: Optional[int] = None,
+    ordered: bool = True,
+    chunk_size: Optional[int] = None,
+    label: Optional[str] = None,
+    progress: ProgressLike = None,
+    cache: CacheLike = None,
+    cache_key: Optional[Callable[[ResultCache, Any, int], str]] = None,
+    encode: Optional[Callable[[Any], Any]] = None,
+    decode: Optional[Callable[[Any], Any]] = None,
+) -> List[Any]:
+    """Map ``fn`` over independent sweep points, possibly in parallel.
+
+    Parameters
+    ----------
+    fn:
+        Pure per-point function ``fn(point) -> result``.  Must be
+        picklable for ``jobs > 1`` (module-level function or
+        ``functools.partial`` of one); must derive any randomness from
+        the point itself, never from shared mutable state.
+    points:
+        The sweep points, in result order.
+    jobs:
+        Worker processes; ``None`` uses all available cores, ``1`` runs
+        serially in-process.  Forced to 1 where ``fork`` is unavailable.
+    ordered:
+        ``True`` (default) returns results in point order; ``False``
+        returns them in completion order (still deterministic content,
+        only ordering differs).
+    chunk_size:
+        Points per pool task; default targets ~4 chunks per worker.
+    label / progress:
+        ``progress=True`` prints ``[label] completed/total`` lines to
+        stderr from the parent process; a callable receives
+        ``(completed, total, point)`` after each point.
+    cache / cache_key / encode / decode:
+        Optional per-point result caching.  ``cache_key(cache, point,
+        index)`` must return the content-addressed key; ``encode``
+        converts a computed result to a JSON-safe payload before storing
+        and ``decode`` converts a stored payload back (both default to
+        identity).  Cached points never reach the pool, so a fully
+        cached sweep performs zero solver calls.
+
+    Returns
+    -------
+    list
+        One result per point (``[fn(p) for p in points]``, bit-equal
+        across all ``jobs`` values when ``ordered=True``).
+    """
+    points = list(points)
+    total = len(points)
+    if total == 0:
+        return []
+    report = _resolve_progress(progress, label)
+    cache_obj = resolve_cache(cache)
+    if cache_obj is not None and cache_key is None:
+        raise ValueError("cache requires cache_key to derive per-point keys")
+
+    results: Dict[int, Any] = {}
+    completed = 0
+
+    # Cache probe: resolve hits up front so only misses are dispatched.
+    pending: List[Tuple[int, Any]] = []
+    keys: Dict[int, str] = {}
+    for index, point in enumerate(points):
+        if cache_obj is not None:
+            key = cache_key(cache_obj, point, index)
+            keys[index] = key
+            stored = cache_obj.get(key)
+            if stored is not None:
+                results[index] = decode(stored) if decode is not None else stored
+                completed += 1
+                if report is not None:
+                    report(completed, total, point)
+                continue
+        pending.append((index, point))
+
+    def finish(index: int, point: Any, result: Any) -> None:
+        nonlocal completed
+        if cache_obj is not None:
+            payload = encode(result) if encode is not None else result
+            cache_obj.put(keys[index], payload)
+        results[index] = result
+        completed += 1
+        if report is not None:
+            report(completed, total, point)
+
+    jobs_effective = resolve_jobs(jobs, len(pending))
+
+    if jobs_effective <= 1:
+        for index, point in pending:
+            finish(index, point, fn(point))
+    else:
+        chunk = _resolve_chunk_size(chunk_size, len(pending), jobs_effective)
+        chunks = [pending[i : i + chunk] for i in range(0, len(pending), chunk)]
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=jobs_effective, mp_context=context
+        ) as pool:
+            futures = {
+                pool.submit(_run_chunk, fn, part): part for part in chunks
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    for index, result in future.result():
+                        finish(index, points[index], result)
+
+    if ordered:
+        return [results[index] for index in range(total)]
+    return list(results.values())
+
+
+def sweep_scan(
+    fn: Callable[[Any, Any], Tuple[Any, Any]],
+    points: Sequence[Any],
+    *,
+    carry: Any = None,
+    label: Optional[str] = None,
+    progress: ProgressLike = None,
+) -> List[Any]:
+    """Sequential sweep with carried state: ``fn(point, carry) ->
+    (result, carry)``.
+
+    Warm-started chains (Fig. 3's iteration trace, Fig. 4's cache-size
+    chain, Fig. 5's controller evolution) are inherently sequential —
+    each point's warm start IS the previous point's solution — so they
+    cannot parallelize without changing results.  ``sweep_scan`` gives
+    them the same progress/labeling plumbing as :func:`sweep_map` while
+    making the data dependence explicit at the call site.
+    """
+    points = list(points)
+    total = len(points)
+    report = _resolve_progress(progress, label)
+    results: List[Any] = []
+    for index, point in enumerate(points):
+        result, carry = fn(point, carry)
+        results.append(result)
+        if report is not None:
+            report(index + 1, total, point)
+    return results

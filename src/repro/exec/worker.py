@@ -1,0 +1,56 @@
+"""Per-worker warm state for process-pool sweep execution.
+
+Compiling a :class:`~repro.core.vectorized.VectorizedSystem` builds the
+(file, node) pair arrays from scratch -- the dominant per-point cost at
+paper scale.  Points of one sweep usually share the placement structure
+(same files on the same nodes, only rates/capacities differ), so each
+pool worker keeps ONE compiled system and ``rebind``s it to the next
+point's model instead of recompiling.  ``rebind`` recomputes exactly
+what a fresh compile would (it is a pure recompilation cache), so the
+warm path cannot perturb results; if the next model's structure differs,
+:func:`shared_system` silently falls back to a fresh compile.
+
+The state lives in a module-level dict so it survives across the tasks a
+``ProcessPoolExecutor`` worker executes, and is equally usable from the
+serial ``jobs=1`` path (the parent process is then the single "worker").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.core.vectorized import VectorizedSystem
+from repro.exceptions import OptimizationError
+
+_STATE: Dict[str, Any] = {}
+
+_SYSTEM_KEY = "vectorized_system"
+
+
+def worker_state() -> Dict[str, Any]:
+    """The mutable per-process scratch dict (for custom warm-up hooks)."""
+    return _STATE
+
+
+def reset_worker_state() -> None:
+    """Drop all warm state (tests use this to isolate determinism checks)."""
+    _STATE.clear()
+
+
+def shared_system(model: Any) -> VectorizedSystem:
+    """A compiled system for ``model``, rebinding the warm one when possible.
+
+    Bit-equality note: ``VectorizedSystem.rebind`` recomputes every array
+    a fresh ``__init__`` would and raises :class:`OptimizationError` when
+    the placement structure differs, so this function always returns a
+    system indistinguishable from ``VectorizedSystem(model)``.
+    """
+    system = _STATE.get(_SYSTEM_KEY)
+    if system is not None:
+        try:
+            return system.rebind(model)
+        except OptimizationError:
+            pass
+    system = VectorizedSystem(model)
+    _STATE[_SYSTEM_KEY] = system
+    return system

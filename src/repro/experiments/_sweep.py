@@ -1,0 +1,57 @@
+"""Shared ``sweep_map`` plumbing for the experiment modules.
+
+Every figure threads the same three execution knobs (``jobs``, ``cache``,
+``progress``) into :func:`repro.exec.sweep_map`; this module holds the
+two pieces they would otherwise each duplicate: a dataclass<->JSON codec
+for cached per-point results and the content-addressed key builder that
+mixes the experiment name and its full parameter set into each point's
+cache key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, is_dataclass
+from typing import Any, Callable, Mapping, Tuple, Type
+
+from repro.exec import ResultCache, experiment_point_key
+
+
+def dataclass_codec(
+    cls: Type[Any],
+) -> Tuple[Callable[[Any], Any], Callable[[Any], Any]]:
+    """(encode, decode) storing instances of ``cls`` as plain JSON dicts.
+
+    ``encode`` is :func:`dataclasses.asdict`; ``decode`` rebuilds the
+    dataclass from the stored mapping.  Only flat dataclasses (no nested
+    dataclass fields needing their own reconstruction) should use this.
+    """
+
+    def encode(result: Any) -> Any:
+        if not is_dataclass(result):
+            raise TypeError(f"expected a {cls.__name__}, got {type(result)!r}")
+        return asdict(result)
+
+    def decode(payload: Any) -> Any:
+        return cls(**payload)
+
+    return encode, decode
+
+
+def experiment_cache_key(
+    experiment: str, params: Mapping[str, Any]
+) -> Callable[[ResultCache, Any, int], str]:
+    """A ``cache_key`` callable binding the experiment name and params.
+
+    ``params`` must carry everything besides the point that shapes the
+    point's result (seed, sizes, durations, engine, ...); the point index
+    is NOT part of the key, so reordering or subsetting the point list
+    still hits.  Experiments that spawn per-index seeds must put the
+    spawned seed itself into the point or params.
+    """
+
+    frozen = dict(params)
+
+    def cache_key(cache: ResultCache, point: Any, index: int) -> str:
+        return experiment_point_key(cache, experiment, point, frozen)
+
+    return cache_key

@@ -15,6 +15,7 @@ the three series on the emulated cluster.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -26,6 +27,8 @@ from repro.cluster.cluster import CephLikeCluster, ClusterConfig
 from repro.cluster.devices import chunk_size_for_object, hdd_service_for_chunk_size
 from repro.core.algorithm import CacheOptimizer
 from repro.core.model import FileSpec, StorageSystemModel
+from repro.exec import CacheLike, ProgressLike, sweep_map
+from repro.experiments._sweep import dataclass_codec, experiment_cache_key
 from repro.simulation.simulator import SimulationConfig, StorageSimulator
 from repro.workloads.traces import TABLE_III_WORKLOAD, table_iii_arrival_rates
 
@@ -206,26 +209,40 @@ def run(
     simulate: bool = False,
     engine: str = "batch",
     baseline_policy: str = "lru",
+    jobs: Optional[int] = None,
+    cache: CacheLike = None,
+    progress: ProgressLike = None,
 ) -> Fig10Result:
-    """Run the full Fig. 10 object-size sweep."""
+    """Run the full Fig. 10 object-size sweep (parallel over sizes)."""
     if object_sizes_mb is None:
         object_sizes_mb = sorted(TABLE_III_WORKLOAD)
-    result = Fig10Result(num_objects=num_objects, cache_capacity_mb=cache_capacity_mb)
-    for object_size in object_sizes_mb:
-        result.comparisons.append(
-            run_for_object_size(
-                object_size,
-                num_objects=num_objects,
-                cache_capacity_mb=cache_capacity_mb,
-                duration_s=duration_s,
-                rate_scale=rate_scale,
-                seed=seed,
-                simulate=simulate,
-                engine=engine,
-                baseline_policy=baseline_policy,
-            )
-        )
-    return result
+    params = {
+        "num_objects": num_objects,
+        "cache_capacity_mb": cache_capacity_mb,
+        "duration_s": duration_s,
+        "rate_scale": rate_scale,
+        "seed": seed,
+        "simulate": simulate,
+        "engine": engine,
+        "baseline_policy": baseline_policy,
+    }
+    encode, decode = dataclass_codec(ObjectSizeComparison)
+    comparisons = sweep_map(
+        functools.partial(run_for_object_size, **params),
+        [int(size) for size in object_sizes_mb],
+        jobs=jobs,
+        label="fig10",
+        progress=progress,
+        cache=cache,
+        cache_key=experiment_cache_key("fig10", params),
+        encode=encode,
+        decode=decode,
+    )
+    return Fig10Result(
+        comparisons=comparisons,
+        num_objects=num_objects,
+        cache_capacity_mb=cache_capacity_mb,
+    )
 
 
 def format_result(result: Fig10Result) -> str:

@@ -9,6 +9,7 @@ average, with the absolute gap widening as the load grows.
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
@@ -19,6 +20,8 @@ from repro.api.deprecation import deprecated_entry_point
 from repro.api.experiments import register_experiment
 from repro.cluster.cluster import CephLikeCluster, ClusterConfig
 from repro.core.algorithm import CacheOptimizer
+from repro.exec import CacheLike, ProgressLike, sweep_map
+from repro.experiments._sweep import dataclass_codec, experiment_cache_key
 from repro.experiments.fig10_object_sizes import _analytical_model
 from repro.simulation.simulator import SimulationConfig, StorageSimulator
 from repro.workloads.traces import aggregate_rate_to_per_object
@@ -167,29 +170,45 @@ def run(
     simulate: bool = False,
     engine: str = "batch",
     baseline_policy: str = "lru",
+    jobs: Optional[int] = None,
+    cache: CacheLike = None,
+    progress: ProgressLike = None,
 ) -> Fig11Result:
-    """Run the full Fig. 11 workload-intensity sweep."""
-    result = Fig11Result(
+    """Run the full Fig. 11 workload-intensity sweep.
+
+    The rate points are independent, so the sweep fans out over
+    ``sweep_map`` (``jobs`` workers, bit-equal to serial) and each
+    point's comparison can be served from the result cache.
+    """
+    params = {
+        "object_size_mb": object_size_mb,
+        "num_objects": num_objects,
+        "cache_capacity_mb": cache_capacity_mb,
+        "duration_s": duration_s,
+        "seed": seed,
+        "rate_divisor": rate_divisor,
+        "simulate": simulate,
+        "engine": engine,
+        "baseline_policy": baseline_policy,
+    }
+    encode, decode = dataclass_codec(ArrivalRateComparison)
+    comparisons = sweep_map(
+        functools.partial(run_for_rate, **params),
+        list(aggregate_rates),
+        jobs=jobs,
+        label="fig11",
+        progress=progress,
+        cache=cache,
+        cache_key=experiment_cache_key("fig11", params),
+        encode=encode,
+        decode=decode,
+    )
+    return Fig11Result(
+        comparisons=comparisons,
         object_size_mb=object_size_mb,
         num_objects=num_objects,
         cache_capacity_mb=cache_capacity_mb,
     )
-    for aggregate_rate in aggregate_rates:
-        result.comparisons.append(
-            run_for_rate(
-                aggregate_rate,
-                object_size_mb=object_size_mb,
-                num_objects=num_objects,
-                cache_capacity_mb=cache_capacity_mb,
-                duration_s=duration_s,
-                seed=seed,
-                rate_divisor=rate_divisor,
-                simulate=simulate,
-                engine=engine,
-                baseline_policy=baseline_policy,
-            )
-        )
-    return result
 
 
 @dataclass

@@ -19,13 +19,16 @@ configurations separate most visibly at the tail under failures.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.experiments import register_experiment
 from repro.cluster.cluster import ClusterConfig
 from repro.cluster.replay import ClusterReplay, ReplayTrace
 from repro.core.algorithm import CacheOptimizer
+from repro.exec import CacheLike, ProgressLike, sweep_map
+from repro.experiments._sweep import dataclass_codec, experiment_cache_key
 from repro.experiments.fig10_object_sizes import _analytical_model
 from repro.policies.functional import StaticFunctionalPolicy
 from repro.workloads.catalog import aggregate_rate_to_per_object
@@ -71,6 +74,59 @@ class Fig12Result:
         return points[-1].p99_ms / points[0].p99_ms
 
 
+def _resolve_policy(policy: str, allocation: Optional[Dict[str, int]]):
+    """The cache-policy factory of one configuration, picklable for pool
+    dispatch (``functools.partial`` of the policy class, never a closure)."""
+    if policy == "functional":
+        return functools.partial(StaticFunctionalPolicy, allocation=allocation)
+    if policy == "static":
+        return StaticFunctionalPolicy
+    return policy
+
+
+def run_tail_point(
+    point: Tuple[float, str],
+    config: ClusterConfig,
+    object_names: Sequence[str],
+    trace: ReplayTrace,
+    allocation: Optional[Dict[str, int]],
+    engine: str,
+    seed: int,
+    downtime_ms: float,
+) -> TailPoint:
+    """Replay one (crash rate, cache configuration) grid point.
+
+    Each point rebuilds its ``ClusterReplay`` from the shared config --
+    construction is deterministic and ``run`` builds a fresh policy per
+    replay, so per-point reconstruction is bit-equal to the old shared
+    per-policy replays while keeping the grid embarrassingly parallel.
+    """
+    crash_rate, policy = point
+    replay = ClusterReplay(
+        config, list(object_names), policy=_resolve_policy(policy, allocation)
+    )
+    outcome = replay.run(
+        trace,
+        engine=engine,
+        seed=seed + 1,
+        faults="osd_crash",
+        fault_params={
+            "crash_rate": float(crash_rate),
+            "downtime_ms": float(downtime_ms),
+        },
+    )
+    return TailPoint(
+        crash_rate=float(crash_rate),
+        policy=policy,
+        mean_ms=outcome.mean_latency_ms(),
+        p99_ms=outcome.percentile_ms(99.0),
+        p999_ms=outcome.percentile_ms(99.9),
+        served=outcome.served,
+        degraded_reads=outcome.degraded_reads,
+        failed_reads=outcome.failed_reads,
+    )
+
+
 @register_experiment(
     "fig12",
     title="Tail latency under OSD failures (Fig. 12)",
@@ -96,6 +152,9 @@ def run(
     tolerance: float = 0.5,
     engine: str = "epoch",
     policies: Sequence[str] = ("functional", "static", "lru"),
+    jobs: Optional[int] = None,
+    cache: CacheLike = None,
+    progress: ProgressLike = None,
 ) -> Fig12Result:
     """Sweep OSD crash rates and record the tail per cache configuration.
 
@@ -103,7 +162,8 @@ def run(
     seeded fault schedule, so the only varying factor per crash rate is
     the cache; ``crash_rate`` is per OSD per second and ``downtime_ms``
     the repair time, so ``crash_rate * downtime_ms / 1000`` is each OSD's
-    expected unavailability fraction.
+    expected unavailability fraction.  The (crash rate x policy) grid is
+    embarrassingly parallel and fans out over ``sweep_map``.
     """
     arrival_rates = aggregate_rate_to_per_object(aggregate_rate, num_objects)
     config = ClusterConfig(
@@ -121,57 +181,51 @@ def run(
         placement = CacheOptimizer(model, tolerance=tolerance).optimize().placement
         allocation = placement.cached_chunks()
 
-    def resolve(policy: str):
-        if policy == "functional":
-
-            def factory(capacity, chunks_per_file):
-                return StaticFunctionalPolicy(
-                    capacity, chunks_per_file, allocation=allocation
-                )
-
-            return factory
-        if policy == "static":
-            return lambda capacity, chunks_per_file: StaticFunctionalPolicy(
-                capacity, chunks_per_file
-            )
-        return policy
-
-    replays = {
-        policy: ClusterReplay(config, sorted(arrival_rates), policy=resolve(policy))
+    grid = [
+        (float(crash_rate), policy)
+        for crash_rate in crash_rates
         for policy in policies
+    ]
+    key_params = {
+        "num_objects": num_objects,
+        "aggregate_rate": aggregate_rate,
+        "duration_s": duration_s,
+        "cache_capacity_mb": cache_capacity_mb,
+        "downtime_ms": downtime_ms,
+        "object_size_mb": object_size_mb,
+        "seed": seed,
+        "tolerance": tolerance,
+        "engine": engine,
     }
-    result = Fig12Result(
+    encode, decode = dataclass_codec(TailPoint)
+    points = sweep_map(
+        functools.partial(
+            run_tail_point,
+            config=config,
+            object_names=sorted(arrival_rates),
+            trace=trace,
+            allocation=allocation,
+            engine=engine,
+            seed=seed,
+            downtime_ms=downtime_ms,
+        ),
+        grid,
+        jobs=jobs,
+        label="fig12",
+        progress=progress,
+        cache=cache,
+        cache_key=experiment_cache_key("fig12", key_params),
+        encode=encode,
+        decode=decode,
+    )
+    return Fig12Result(
+        points=points,
         crash_rates=tuple(crash_rates),
         policies=tuple(policies),
         num_objects=num_objects,
         duration_s=duration_s,
         downtime_ms=downtime_ms,
     )
-    for crash_rate in crash_rates:
-        for policy in policies:
-            outcome = replays[policy].run(
-                trace,
-                engine=engine,
-                seed=seed + 1,
-                faults="osd_crash",
-                fault_params={
-                    "crash_rate": float(crash_rate),
-                    "downtime_ms": float(downtime_ms),
-                },
-            )
-            result.points.append(
-                TailPoint(
-                    crash_rate=float(crash_rate),
-                    policy=policy,
-                    mean_ms=outcome.mean_latency_ms(),
-                    p99_ms=outcome.percentile_ms(99.0),
-                    p999_ms=outcome.percentile_ms(99.9),
-                    served=outcome.served,
-                    degraded_reads=outcome.degraded_reads,
-                    failed_reads=outcome.failed_reads,
-                )
-            )
-    return result
 
 
 def format_result(result: Fig12Result) -> str:

@@ -18,12 +18,15 @@ sampled at those probabilities.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.api.experiments import register_experiment
 from repro.cluster.cluster import ClusterConfig
 from repro.cluster.replay import ClusterReplay, ReplayTrace
+from repro.exec import CacheLike, ProgressLike, sweep_map
+from repro.experiments._sweep import dataclass_codec, experiment_cache_key
 from repro.faults import GeneratedFaultSchedule
 from repro.workloads.catalog import aggregate_rate_to_per_object
 
@@ -76,6 +79,46 @@ class Fig13Result:
         return degraded / healthy if healthy > 0 else 1.0
 
 
+def _mode_faults(mode: str, outage_fraction: float, repair_rate: float):
+    """The fault schedule of one cluster state (rebuilt in each worker)."""
+    if mode == "healthy":
+        return None
+    outage = GeneratedFaultSchedule(
+        "degraded_read", {"fraction": float(outage_fraction)}
+    )
+    if mode == "degraded":
+        return outage
+    repairs = GeneratedFaultSchedule("repair_traffic", {"rate": float(repair_rate)})
+    return [outage, repairs]
+
+
+def run_mode(
+    mode: str,
+    config: ClusterConfig,
+    object_names: Sequence[str],
+    trace: ReplayTrace,
+    policy: str,
+    engine: str,
+    seed: int,
+    outage_fraction: float,
+    repair_rate: float,
+) -> LatencyCDF:
+    """Replay the shared trace under one cluster state."""
+    replay = ClusterReplay(config, list(object_names), policy=policy)
+    faults = _mode_faults(mode, outage_fraction, repair_rate)
+    outcome = replay.run(trace, engine=engine, seed=seed + 1, faults=faults)
+    return LatencyCDF(
+        mode=mode,
+        quantiles=QUANTILES,
+        latencies_ms=[outcome.percentile_ms(q) for q in QUANTILES],
+        mean_ms=outcome.mean_latency_ms(),
+        served=outcome.served,
+        degraded_reads=outcome.degraded_reads,
+        failed_reads=outcome.failed_reads,
+        repair_jobs=outcome.repair_jobs,
+    )
+
+
 @register_experiment(
     "fig13",
     title="Degraded-read latency CDF (Fig. 13)",
@@ -99,12 +142,17 @@ def run(
     seed: int = 2016,
     engine: str = "epoch",
     policy: str = "lru",
+    jobs: Optional[int] = None,
+    cache: CacheLike = None,
+    progress: ProgressLike = None,
 ) -> Fig13Result:
     """Replay the same trace against the three cluster states.
 
     ``outage_fraction`` is the fraction of OSDs in the correlated outage;
     ``repair_rate`` the background reconstruction arrival rate (jobs per
     second across the cluster).  ``policy`` is any registered cache policy.
+    The three states are independent replays of the same trace, so they
+    fan out over ``sweep_map``.
     """
     arrival_rates = aggregate_rate_to_per_object(aggregate_rate, num_objects)
     config = ClusterConfig(
@@ -113,39 +161,49 @@ def run(
         seed=seed,
     )
     trace = ReplayTrace.from_rates(arrival_rates, duration_s, seed=seed + 101)
-    replay = ClusterReplay(config, sorted(arrival_rates), policy=policy)
 
-    outage = GeneratedFaultSchedule(
-        "degraded_read", {"fraction": float(outage_fraction)}
+    key_params = {
+        "num_objects": num_objects,
+        "aggregate_rate": aggregate_rate,
+        "duration_s": duration_s,
+        "cache_capacity_mb": cache_capacity_mb,
+        "outage_fraction": outage_fraction,
+        "repair_rate": repair_rate,
+        "object_size_mb": object_size_mb,
+        "seed": seed,
+        "engine": engine,
+        "policy": policy,
+    }
+    encode, decode = dataclass_codec(LatencyCDF)
+    cdfs = sweep_map(
+        functools.partial(
+            run_mode,
+            config=config,
+            object_names=sorted(arrival_rates),
+            trace=trace,
+            policy=policy,
+            engine=engine,
+            seed=seed,
+            outage_fraction=float(outage_fraction),
+            repair_rate=float(repair_rate),
+        ),
+        ["healthy", "degraded", "repairing"],
+        jobs=jobs,
+        label="fig13",
+        progress=progress,
+        cache=cache,
+        cache_key=experiment_cache_key("fig13", key_params),
+        encode=encode,
+        decode=decode,
     )
-    repairs = GeneratedFaultSchedule("repair_traffic", {"rate": float(repair_rate)})
-    modes = (
-        ("healthy", None),
-        ("degraded", outage),
-        ("repairing", [outage, repairs]),
-    )
-    result = Fig13Result(
+    return Fig13Result(
+        cdfs=cdfs,
         policy=policy,
         outage_fraction=float(outage_fraction),
         repair_rate=float(repair_rate),
         num_objects=num_objects,
         duration_s=duration_s,
     )
-    for mode, faults in modes:
-        outcome = replay.run(trace, engine=engine, seed=seed + 1, faults=faults)
-        result.cdfs.append(
-            LatencyCDF(
-                mode=mode,
-                quantiles=QUANTILES,
-                latencies_ms=[outcome.percentile_ms(q) for q in QUANTILES],
-                mean_ms=outcome.mean_latency_ms(),
-                served=outcome.served,
-                degraded_reads=outcome.degraded_reads,
-                failed_reads=outcome.failed_reads,
-                repair_jobs=outcome.repair_jobs,
-            )
-        )
-    return result
 
 
 def format_result(result: Fig13Result) -> str:

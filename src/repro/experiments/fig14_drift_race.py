@@ -27,8 +27,9 @@ steady-state warm re-solve of a 10^5-file system against.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -37,6 +38,7 @@ from repro.api.registry import CONTROLLERS, WORKLOADS
 from repro.api.scenario import Scenario
 from repro.control import OnlineController
 from repro.core.vectorized import VectorizedSystem
+from repro.exec import ProgressLike, sweep_map
 
 #: The fig14 time-bin width (seconds): the re-solve deadline an online
 #: controller must meet for the paper's per-bin discipline to be viable.
@@ -106,6 +108,45 @@ def _evaluate(system: VectorizedSystem, pi: np.ndarray, rates: np.ndarray) -> fl
     return float(system.objective(pi, system.optimal_z(pi)))
 
 
+def _run_arm(
+    arm: str,
+    model: Any,
+    stream: Any,
+    num_chunks: int,
+    controller: Optional[str],
+    controller_params: Optional[Dict[str, object]],
+    controller_knobs: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Run one race arm (the primary controller or the cold baseline).
+
+    The two arms consume the same pre-sampled stream independently, so
+    they fan out over ``sweep_map``; each worker builds its controller
+    from the shared model.
+    """
+    if arm == "primary":
+        spec = CONTROLLERS.get(controller or "online")
+        accepted = spec.accepted_params()
+        build_params = {
+            key: value
+            for key, value in controller_knobs.items()
+            if accepted is None or key in accepted
+        }
+        build_params.update(dict(controller_params or {}))
+        spec.validate_params(build_params)
+        built_controller = spec.build(model, **build_params)
+        return {
+            "name": spec.name,
+            "run": built_controller.run(stream, num_chunks=num_chunks),
+            "churn_budget": built_controller.planner.churn_budget,
+        }
+    built_controller = OnlineController(model, warm=False, **controller_knobs)
+    return {
+        "name": "cold",
+        "run": built_controller.run(stream, num_chunks=num_chunks),
+        "churn_budget": None,
+    }
+
+
 @register_experiment(
     "fig14",
     title="Drift race: online controller vs cold re-solve vs static (Fig. 14)",
@@ -145,6 +186,8 @@ def run(
     num_chunks: int = 64,
     controller: Optional[str] = None,
     controller_params: Optional[Dict[str, object]] = None,
+    jobs: Optional[int] = None,
+    progress: ProgressLike = None,
 ) -> Fig14Result:
     """Race the three strategies over one sampled non-stationary stream.
 
@@ -194,19 +237,24 @@ def run(
         min_observations=min_observations,
         churn_budget=churn_budget,
     )
-    spec = CONTROLLERS.get(controller or "online")
-    accepted = spec.accepted_params()
-    build_params = {
-        key: value
-        for key, value in controller_knobs.items()
-        if accepted is None or key in accepted
-    }
-    build_params.update(dict(controller_params or {}))
-    spec.validate_params(build_params)
-    primary_controller = spec.build(model, **build_params)
-    cold_controller = OnlineController(model, warm=False, **controller_knobs)
-    primary_run = primary_controller.run(stream, num_chunks=num_chunks)
-    cold_run = cold_controller.run(stream, num_chunks=num_chunks)
+    arm_results = sweep_map(
+        functools.partial(
+            _run_arm,
+            model=model,
+            stream=stream,
+            num_chunks=num_chunks,
+            controller=controller,
+            controller_params=controller_params,
+            controller_knobs=controller_knobs,
+        ),
+        ["primary", "cold"],
+        jobs=jobs,
+        label="fig14",
+        progress=progress,
+    )
+    primary_arm, cold_arm = arm_results
+    primary_run = primary_arm["run"]
+    cold_run = cold_arm["run"]
 
     result = Fig14Result(
         workload=workload,
@@ -214,10 +262,10 @@ def run(
         cache_capacity=cache_capacity,
         duration=float(duration),
         num_requests=stream.num_requests,
-        churn_budget=primary_controller.planner.churn_budget,
+        churn_budget=primary_arm["churn_budget"],
     )
     arms = {
-        "online": ArmResult(spec.name),
+        "online": ArmResult(primary_arm["name"]),
         "cold": ArmResult("cold"),
         "static": ArmResult("static"),
     }

@@ -17,6 +17,7 @@ from repro.api.experiments import register_experiment
 from repro.core.algorithm import CacheOptimizer
 from repro.core.bound import SolutionState
 from repro.core.vectorized import VectorizedSystem
+from repro.exec import ProgressLike, sweep_scan
 from repro.workloads.defaults import paper_default_model
 
 
@@ -62,6 +63,7 @@ def run(
     seed: int = 2016,
     pi_max_iterations: int = 80,
     rounding_fraction: float = 0.3,
+    progress: ProgressLike = None,
 ) -> Fig3Result:
     """Run the Fig. 3 convergence experiment.
 
@@ -69,18 +71,19 @@ def run(
     ----------
     cache_sizes:
         Cache sizes (in chunks) to sweep; the converged solution of each size
-        warm-starts the next, exactly as in the paper.
+        warm-starts the next, exactly as in the paper.  The chain is
+        inherently sequential (each point's warm start IS the previous
+        solution), so it runs as a ``sweep_scan``, never in parallel.
     num_files:
         Number of files (1000 in the paper; smaller values give a faster,
         shape-preserving run for CI).
     """
-    result = Fig3Result(num_files=num_files, tolerance=tolerance)
-    warm_start: Optional[SolutionState] = None
     base_model = paper_default_model(
         num_files=num_files, cache_capacity=cache_sizes[0], seed=seed
     )
-    system: Optional[VectorizedSystem] = None
-    for cache_size in cache_sizes:
+
+    def solve_size(cache_size, carry):
+        warm_start, system = carry if carry is not None else (None, None)
         # One model instance and one compiled system serve the whole sweep:
         # only the cache capacity changes between the sizes.
         model = base_model.copy_with_cache_capacity(cache_size)
@@ -91,25 +94,27 @@ def run(
             rounding_fraction=rounding_fraction,
             system=system,
         )
-        system = optimizer.system
         outcome = optimizer.optimize(initial_state=warm_start)
-        result.curves.append(
-            ConvergenceCurve(
-                cache_size=cache_size,
-                objective_trace=list(outcome.objective_trace),
-                converged=outcome.converged,
-                outer_iterations=outcome.outer_iterations,
-            )
+        curve = ConvergenceCurve(
+            cache_size=cache_size,
+            objective_trace=list(outcome.objective_trace),
+            converged=outcome.converged,
+            outer_iterations=outcome.outer_iterations,
         )
         # Warm-start the next size from this converged solution.
         placement = outcome.placement
-        warm_start = SolutionState(
+        next_start = SolutionState(
             probabilities=[
                 dict(entry.scheduling_probabilities) for entry in placement.files
             ],
             z_values=[0.0] * model.num_files,
         )
-    return result
+        return curve, (next_start, optimizer.system)
+
+    curves = sweep_scan(
+        solve_size, list(cache_sizes), label="fig3", progress=progress
+    )
+    return Fig3Result(curves=curves, num_files=num_files, tolerance=tolerance)
 
 
 def format_result(result: Fig3Result) -> str:

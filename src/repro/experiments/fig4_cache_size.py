@@ -16,6 +16,7 @@ from repro.api.experiments import register_experiment
 from repro.core.algorithm import CacheOptimizer
 from repro.core.bound import SolutionState
 from repro.core.vectorized import VectorizedSystem
+from repro.exec import ProgressLike, sweep_scan
 from repro.workloads.defaults import paper_default_model
 
 
@@ -59,23 +60,25 @@ def run(
     tolerance: float = 0.01,
     pi_max_iterations: int = 80,
     rounding_fraction: float = 0.3,
+    progress: ProgressLike = None,
 ) -> Fig4Result:
     """Run the Fig. 4 cache-size sweep.
 
     ``cache_sizes`` defaults to 0..4k in steps of k/2 files' worth of chunks
-    scaled to ``num_files`` (so a 100-file run sweeps 0..400).
+    scaled to ``num_files`` (so a 100-file run sweeps 0..400).  Each size
+    warm-starts from the previous converged solution, so the sweep is a
+    sequential ``sweep_scan``, never a parallel fan-out.
     """
     if cache_sizes is None:
         full_cache = 4 * num_files
         step = max(full_cache // 8, 1)
         cache_sizes = list(range(0, full_cache + 1, step))
-    result = Fig4Result(num_files=num_files)
-    warm_start: Optional[SolutionState] = None
     base_model = paper_default_model(
         num_files=num_files, cache_capacity=0, seed=seed
     )
-    system: Optional[VectorizedSystem] = None
-    for cache_size in cache_sizes:
+
+    def solve_size(cache_size, carry):
+        warm_start, system = carry if carry is not None else (None, None)
         # One model instance and one compiled system serve the whole sweep:
         # only the cache capacity changes between the points.
         model = base_model.copy_with_cache_capacity(cache_size)
@@ -86,23 +89,25 @@ def run(
             rounding_fraction=rounding_fraction,
             system=system,
         )
-        system = optimizer.system
         outcome = optimizer.optimize(initial_state=warm_start)
         placement = outcome.placement
-        result.points.append(
-            CacheSizePoint(
-                cache_size=cache_size,
-                latency=placement.objective,
-                cached_chunks=placement.total_cached_chunks,
-            )
+        point = CacheSizePoint(
+            cache_size=cache_size,
+            latency=placement.objective,
+            cached_chunks=placement.total_cached_chunks,
         )
-        warm_start = SolutionState(
+        next_start = SolutionState(
             probabilities=[
                 dict(entry.scheduling_probabilities) for entry in placement.files
             ],
             z_values=[0.0] * model.num_files,
         )
-    return result
+        return point, (next_start, optimizer.system)
+
+    points = sweep_scan(
+        solve_size, list(cache_sizes), label="fig4", progress=progress
+    )
+    return Fig4Result(points=points, num_files=num_files)
 
 
 def format_result(result: Fig4Result) -> str:

@@ -16,6 +16,7 @@ from typing import Dict, List
 from repro.api.deprecation import deprecated_entry_point
 from repro.api.experiments import register_experiment
 from repro.control import OnlineController
+from repro.exec import ProgressLike, sweep_scan
 from repro.simulation.simulator import SimulationConfig, StorageSimulator
 from repro.workloads.defaults import ten_file_model
 from repro.workloads.traces import TABLE_I_ARRIVAL_RATES, table_i_time_bins
@@ -50,6 +51,7 @@ def run(
     simulate_bins: bool = False,
     engine: str = "batch",
     horizon: float = 5000.0,
+    progress: ProgressLike = None,
 ) -> Fig5Result:
     """Run the three-time-bin cache-evolution experiment.
 
@@ -77,24 +79,37 @@ def run(
     )
     controller = OnlineController(model, alternation_tolerance=tolerance)
     result = Fig5Result(cache_capacity=cache_capacity)
-    for time_bin in table_i_time_bins():
+
+    # The controller carries its warm state from bin to bin, so the bins
+    # form a sequential scan (the carry is the controller itself).
+    def process_time_bin(time_bin, carry):
         scaled = {
             file_id: rate * rate_scale
             for file_id, rate in time_bin.arrival_rates.items()
         }
-        record = controller.process_bin(scaled, index=time_bin.index)
-        result.cache_per_bin.append(record.placement.cached_chunks())
-        result.arrival_rates_per_bin.append(dict(scaled))
-        result.latency_per_bin.append(record.placement.objective)
+        record = carry.process_bin(scaled, index=time_bin.index)
+        simulated = None
         if simulate_bins:
             bin_model = model.copy_with_arrival_rates(scaled)
             simulator = StorageSimulator(bin_model, record.placement, engine=engine)
             config = SimulationConfig(
                 horizon=horizon, seed=seed, warmup=horizon * 0.1
             )
-            result.simulated_latency_per_bin.append(
-                simulator.run(config).mean_latency()
-            )
+            simulated = simulator.run(config).mean_latency()
+        return (scaled, record, simulated), carry
+
+    for scaled, record, simulated in sweep_scan(
+        process_time_bin,
+        table_i_time_bins(),
+        carry=controller,
+        label="fig5",
+        progress=progress,
+    ):
+        result.cache_per_bin.append(record.placement.cached_chunks())
+        result.arrival_rates_per_bin.append(dict(scaled))
+        result.latency_per_bin.append(record.placement.objective)
+        if simulated is not None:
+            result.simulated_latency_per_bin.append(simulated)
     return result
 
 

@@ -12,12 +12,15 @@ chunks displace the other files' chunks in the cache.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.api.deprecation import deprecated_entry_point
 from repro.api.experiments import register_experiment
 from repro.core.algorithm import CacheOptimizer
+from repro.exec import CacheLike, ProgressLike, sweep_map
+from repro.experiments._sweep import dataclass_codec, experiment_cache_key
 from repro.simulation.simulator import SimulationConfig, StorageSimulator
 from repro.workloads.defaults import ten_file_model
 
@@ -72,6 +75,45 @@ def _arrival_rates(rate_first_two: float) -> List[float]:
     return rates
 
 
+def run_for_sweep_rate(
+    rate: float,
+    cache_capacity: int = 10,
+    rate_scale: float = 80.0,
+    tolerance: float = 0.001,
+    seed: int = 2016,
+    simulate: bool = False,
+    engine: str = "batch",
+    horizon: float = 5000.0,
+) -> SweepPoint:
+    """Solve one sweep point: the allocation at one first-two rate."""
+    model = ten_file_model(
+        cache_capacity=cache_capacity,
+        arrival_rates=_arrival_rates(rate),
+        placement_mode="split",
+        seed=seed,
+        rate_scale=rate_scale,
+    )
+    optimizer = CacheOptimizer(model, tolerance=tolerance)
+    placement = optimizer.optimize().placement
+    cached = placement.cached_chunks()
+    chunks_first_two = cached["file-0"] + cached["file-1"]
+    chunks_files_2_3 = cached["file-2"] + cached["file-3"]
+    chunks_last_six = sum(cached[f"file-{index}"] for index in range(4, 10))
+    simulated_latency: Optional[float] = None
+    if simulate:
+        simulator = StorageSimulator(model, placement, engine=engine)
+        config = SimulationConfig(horizon=horizon, seed=seed, warmup=horizon * 0.1)
+        simulated_latency = simulator.run(config).mean_latency()
+    return SweepPoint(
+        rate_first_two=rate,
+        chunks_first_two=chunks_first_two,
+        chunks_files_2_3=chunks_files_2_3,
+        chunks_last_six=chunks_last_six,
+        total_cached=placement.total_cached_chunks,
+        simulated_latency=simulated_latency,
+    )
+
+
 @deprecated_entry_point("fig6")
 @register_experiment(
     "fig6",
@@ -87,8 +129,11 @@ def run(
     simulate: bool = False,
     engine: str = "batch",
     horizon: float = 5000.0,
+    jobs: Optional[int] = None,
+    cache: CacheLike = None,
+    progress: ProgressLike = None,
 ) -> Fig6Result:
-    """Run the Fig. 6 placement/arrival-rate sweep.
+    """Run the Fig. 6 placement/arrival-rate sweep (parallel over rates).
 
     ``rate_scale`` plays the same role as in the Fig. 5 experiment: the
     Table rates are scaled so that queueing (and hence caching) matters on a
@@ -98,37 +143,28 @@ def run(
     simulator (``engine`` picks the backend, batch by default) and the
     simulated mean latency recorded per point.
     """
-    result = Fig6Result(cache_capacity=cache_capacity)
-    for rate in sweep_rates:
-        model = ten_file_model(
-            cache_capacity=cache_capacity,
-            arrival_rates=_arrival_rates(rate),
-            placement_mode="split",
-            seed=seed,
-            rate_scale=rate_scale,
-        )
-        optimizer = CacheOptimizer(model, tolerance=tolerance)
-        placement = optimizer.optimize().placement
-        cached = placement.cached_chunks()
-        chunks_first_two = cached["file-0"] + cached["file-1"]
-        chunks_files_2_3 = cached["file-2"] + cached["file-3"]
-        chunks_last_six = sum(cached[f"file-{index}"] for index in range(4, 10))
-        simulated_latency: Optional[float] = None
-        if simulate:
-            simulator = StorageSimulator(model, placement, engine=engine)
-            config = SimulationConfig(horizon=horizon, seed=seed, warmup=horizon * 0.1)
-            simulated_latency = simulator.run(config).mean_latency()
-        result.points.append(
-            SweepPoint(
-                rate_first_two=rate,
-                chunks_first_two=chunks_first_two,
-                chunks_files_2_3=chunks_files_2_3,
-                chunks_last_six=chunks_last_six,
-                total_cached=placement.total_cached_chunks,
-                simulated_latency=simulated_latency,
-            )
-        )
-    return result
+    params = {
+        "cache_capacity": cache_capacity,
+        "rate_scale": rate_scale,
+        "tolerance": tolerance,
+        "seed": seed,
+        "simulate": simulate,
+        "engine": engine,
+        "horizon": horizon,
+    }
+    encode, decode = dataclass_codec(SweepPoint)
+    points = sweep_map(
+        functools.partial(run_for_sweep_rate, **params),
+        [float(rate) for rate in sweep_rates],
+        jobs=jobs,
+        label="fig6",
+        progress=progress,
+        cache=cache,
+        cache_key=experiment_cache_key("fig6", params),
+        encode=encode,
+        decode=decode,
+    )
+    return Fig6Result(points=points, cache_capacity=cache_capacity)
 
 
 def format_result(result: Fig6Result) -> str:

@@ -18,6 +18,12 @@ longer.  Uniform flags forwarded to every experiment that supports them:
 * ``--controller NAME`` / ``--controller-param KEY=VALUE`` -- drive the
   workload stream through a registered online controller in experiments
   that support one (``repro.api.list_controllers()``),
+* ``--jobs N`` -- run sweep points on N worker processes (default: all
+  cores; results are bit-identical to ``--jobs 1``),
+* ``--cache`` / ``--no-cache`` -- serve per-point results from the
+  content-addressed cache under ``~/.cache/repro`` (``REPRO_CACHE_DIR``
+  overrides the directory),
+* ``--progress`` -- report completed/total sweep points on stderr,
 * ``--json`` -- emit the machine-readable result instead of the text report,
 * ``--list`` -- show every registered experiment, solver, engine, baseline,
   kernel backend, fault generator, controller and workload.
@@ -61,6 +67,9 @@ def run_experiment(
     fault_params: Optional[Dict[str, object]] = None,
     controller: Optional[str] = None,
     controller_params: Optional[Dict[str, object]] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+    progress: Optional[bool] = None,
     as_json: bool = False,
 ) -> str:
     """Run one registered experiment and return its formatted report.
@@ -73,7 +82,11 @@ def run_experiment(
     ``faults``/``fault_params`` inject a registered fault schedule into
     experiments that replay the emulated cluster (same drop rule);
     ``controller``/``controller_params`` drive the workload stream through
-    a registered online controller (same drop rule).  With ``as_json=True``
+    a registered online controller (same drop rule).  ``jobs`` fans sweep
+    points out over that many worker processes, ``cache`` serves repeated
+    points from the content-addressed result cache and ``progress``
+    reports completed/total points on stderr (all three follow the same
+    drop rule).  With ``as_json=True``
     the report is a JSON document carrying the full typed result; otherwise
     it is the experiment's text rendering under a timing header.
     """
@@ -90,6 +103,9 @@ def run_experiment(
             fault_params=fault_params or None,
             controller=controller,
             controller_params=controller_params or None,
+            jobs=jobs,
+            cache=cache,
+            progress=progress,
         )
     elapsed = time.time() - started
     if as_json:
@@ -293,6 +309,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--controller-param window=300 --controller-param churn_budget=64",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for sweep-style experiments (default: all "
+        "cores; results are bit-identical to --jobs 1)",
+    )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="serve repeated sweep points from the content-addressed "
+        "result cache under ~/.cache/repro (REPRO_CACHE_DIR overrides "
+        "the directory); --no-cache forces fresh solves",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        default=None,
+        help="report completed/total sweep points on stderr while running",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         dest="as_json",
@@ -339,6 +376,9 @@ def main(argv=None) -> int:
             fault_params=fault_params,
             controller=args.controller,
             controller_params=controller_params,
+            jobs=args.jobs,
+            cache=args.cache,
+            progress=args.progress,
             as_json=args.as_json,
         )
         for name in names

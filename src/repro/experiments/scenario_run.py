@@ -32,6 +32,7 @@ from typing import Any, Dict, Mapping, Optional
 from repro.api.experiments import register_experiment
 from repro.api.scenario import Scenario
 from repro.api.session import run_scenario
+from repro.exec import CacheLike
 
 
 @register_experiment(
@@ -51,6 +52,7 @@ def run(
     fault_params: Optional[Mapping[str, Any]] = None,
     controller: Optional[str] = None,
     controller_params: Optional[Mapping[str, Any]] = None,
+    cache: CacheLike = None,
     scale: str = "fast",
 ) -> Dict[str, Any]:
     """Run one scenario and return its JSON-safe result payload."""
@@ -74,7 +76,7 @@ def run(
         fields["controller"] = controller
         if controller_params:
             fields["controller_params"] = dict(controller_params)
-    result = run_scenario(Scenario(**fields))
+    result = run_scenario(Scenario(**fields), cache=cache)
     payload = result.to_dict()
     payload["summary"] = result.summary()
     return payload

@@ -7,8 +7,9 @@ measurement tables from the emulated devices and renders all of them.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -20,6 +21,8 @@ from repro.cluster.devices import (
     hdd_service_for_chunk_size,
     ssd_service_for_chunk_size,
 )
+from repro.exec import CacheLike, ProgressLike, spawn_point_seeds, sweep_map
+from repro.experiments._sweep import dataclass_codec, experiment_cache_key
 from repro.workloads.traces import TABLE_I_ARRIVAL_RATES, TABLE_III_WORKLOAD
 
 
@@ -52,6 +55,28 @@ class TablesResult:
     table_v: List[TableVRow] = field(default_factory=list)
 
 
+def run_table_iv_row(point: Tuple[int, int], samples: int) -> TableIVRow:
+    """Sample one Table IV row from its own spawned seed.
+
+    Rows used to draw from one shared generator in sequence; giving each
+    row an independent ``SeedSequence``-spawned seed (keyed by row index)
+    makes the rows order-independent, so the sweep parallelizes and each
+    row is individually cacheable.
+    """
+    chunk_size, row_seed = point
+    row = HDD_SERVICE_TABLE[chunk_size]
+    service = hdd_service_for_chunk_size(chunk_size)
+    rng = np.random.default_rng(row_seed)
+    draws = np.asarray(service.sample(rng, size=samples), dtype=float)
+    return TableIVRow(
+        chunk_size_mb=chunk_size,
+        paper_mean_ms=row["mean_ms"],
+        paper_variance=row["variance_ms2"],
+        emulated_mean_ms=float(draws.mean()),
+        emulated_variance=float(draws.var()),
+    )
+
+
 @deprecated_entry_point("tables")
 @register_experiment(
     "tables",
@@ -59,22 +84,30 @@ class TablesResult:
     description="workload and device measurement tables regenerated from the emulation",
     scales={"fast": {"samples": 5000}, "paper": {"samples": 20000}},
 )
-def run(samples: int = 20000, seed: int = 2016) -> TablesResult:
+def run(
+    samples: int = 20000,
+    seed: int = 2016,
+    jobs: Optional[int] = None,
+    cache: CacheLike = None,
+    progress: ProgressLike = None,
+) -> TablesResult:
     """Regenerate Tables III-V (sampling the emulated devices for IV/V)."""
-    rng = np.random.default_rng(seed)
-    result = TablesResult(table_iii=dict(TABLE_III_WORKLOAD))
-    for chunk_size, row in sorted(HDD_SERVICE_TABLE.items()):
-        service = hdd_service_for_chunk_size(chunk_size)
-        draws = np.asarray(service.sample(rng, size=samples), dtype=float)
-        result.table_iv.append(
-            TableIVRow(
-                chunk_size_mb=chunk_size,
-                paper_mean_ms=row["mean_ms"],
-                paper_variance=row["variance_ms2"],
-                emulated_mean_ms=float(draws.mean()),
-                emulated_variance=float(draws.var()),
-            )
-        )
+    chunk_sizes = sorted(HDD_SERVICE_TABLE)
+    row_seeds = spawn_point_seeds(seed, len(chunk_sizes))
+    points = list(zip(chunk_sizes, row_seeds))
+    encode, decode = dataclass_codec(TableIVRow)
+    table_iv = sweep_map(
+        functools.partial(run_table_iv_row, samples=samples),
+        points,
+        jobs=jobs,
+        label="tables",
+        progress=progress,
+        cache=cache,
+        cache_key=experiment_cache_key("tables", {"samples": samples}),
+        encode=encode,
+        decode=decode,
+    )
+    result = TablesResult(table_iii=dict(TABLE_III_WORKLOAD), table_iv=table_iv)
     for chunk_size, latency in sorted(SSD_CACHE_LATENCY_TABLE.items()):
         service = ssd_service_for_chunk_size(chunk_size)
         result.table_v.append(

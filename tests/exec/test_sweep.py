@@ -1,0 +1,166 @@
+"""Unit tests for ``repro.exec.sweep``: determinism, ordering, caching hooks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exec import (
+    ResultCache,
+    SweepSpec,
+    available_cpus,
+    fork_available,
+    resolve_jobs,
+    spawn_point_seeds,
+    sweep_map,
+    sweep_scan,
+)
+
+
+def square(x):
+    return x * x
+
+
+def draw_normals(seed):
+    """A point function whose result is pure RNG, keyed by the point."""
+    return np.random.default_rng(seed).normal(size=4).tolist()
+
+
+def test_available_cpus_positive():
+    assert available_cpus() >= 1
+
+
+def test_resolve_jobs_defaults_and_caps():
+    assert resolve_jobs(None, 8) == min(available_cpus(), 8)
+    assert resolve_jobs(4, 2) == 2 if fork_available() else 1
+    assert resolve_jobs(1, 100) == 1
+    assert resolve_jobs(None, 0) == 1
+
+
+def test_resolve_jobs_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        resolve_jobs(0, 5)
+    with pytest.raises(ValueError):
+        resolve_jobs(-2, 5)
+
+
+def test_spawn_point_seeds_deterministic_and_prefix_stable():
+    first = spawn_point_seeds(2016, 5)
+    assert first == spawn_point_seeds(2016, 5)
+    assert len(set(first)) == 5
+    # Growing the sweep must not reshuffle earlier points' entropy.
+    assert spawn_point_seeds(2016, 8)[:5] == first
+    assert spawn_point_seeds(17, 5) != first
+
+
+def test_sweep_map_empty_points():
+    assert sweep_map(square, [], jobs=4) == []
+
+
+def test_sweep_map_serial_matches_parallel():
+    points = list(range(23))
+    serial = sweep_map(square, points, jobs=1)
+    parallel = sweep_map(square, points, jobs=4)
+    assert serial == [p * p for p in points]
+    assert parallel == serial
+
+
+def test_sweep_map_rng_bit_equal_across_jobs():
+    seeds = spawn_point_seeds(123, 12)
+    serial = sweep_map(draw_normals, seeds, jobs=1)
+    parallel = sweep_map(draw_normals, seeds, jobs=3)
+    assert parallel == serial  # exact float equality, not approx
+
+
+def test_sweep_map_unordered_same_content():
+    points = list(range(11))
+    unordered = sweep_map(square, points, jobs=3, ordered=False)
+    assert sorted(unordered) == [p * p for p in points]
+
+
+def test_sweep_map_chunk_size_validation():
+    with pytest.raises(ValueError):
+        sweep_map(square, [1, 2, 3], jobs=2, chunk_size=0)
+
+
+def test_sweep_map_progress_reports_from_parent():
+    seen = []
+
+    def record(completed, total, point):
+        seen.append((completed, total, point))
+
+    points = list(range(6))
+    sweep_map(square, points, jobs=3, progress=record)
+    # The callback runs in the parent, once per point, with a monotone
+    # completed counter (completion order may differ from point order).
+    assert [completed for completed, _, _ in seen] == list(range(1, 7))
+    assert all(total == 6 for _, total, _ in seen)
+    assert sorted(point for _, _, point in seen) == points
+
+
+def test_sweep_map_cache_requires_key(tmp_path):
+    with pytest.raises(ValueError):
+        sweep_map(square, [1, 2], cache=ResultCache(tmp_path))
+
+
+def test_sweep_map_cache_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path)
+    calls = []
+
+    def tracked(x):
+        calls.append(x)
+        return {"value": x * x}
+
+    def key(cache_obj, point, index):
+        return cache_obj.key_for({"test": "roundtrip", "point": point})
+
+    points = [1, 2, 3, 4]
+    first = sweep_map(tracked, points, jobs=1, cache=cache, cache_key=key)
+    assert calls == points
+    assert cache.stats.misses == 4 and cache.stats.stores == 4
+
+    second = sweep_map(tracked, points, jobs=1, cache=cache, cache_key=key)
+    assert calls == points  # no recomputation: every point was a hit
+    assert cache.stats.hits == 4
+    assert second == first
+
+
+def test_sweep_map_cache_encode_decode(tmp_path):
+    cache = ResultCache(tmp_path)
+
+    def key(cache_obj, point, index):
+        return cache_obj.key_for({"test": "codec", "point": point})
+
+    kwargs = dict(
+        cache=cache,
+        cache_key=key,
+        encode=lambda result: {"wrapped": result},
+        decode=lambda payload: payload["wrapped"],
+    )
+    fresh = sweep_map(square, [2, 3], jobs=1, **kwargs)
+    cached = sweep_map(square, [2, 3], jobs=1, **kwargs)
+    assert cached == fresh == [4, 9]
+
+
+def test_sweep_scan_carries_state_in_order():
+    def accumulate(point, carry):
+        carry = (carry or 0) + point
+        return carry, carry
+
+    assert sweep_scan(accumulate, [1, 2, 3, 4]) == [1, 3, 6, 10]
+
+
+def test_sweep_scan_progress():
+    seen = []
+    sweep_scan(
+        lambda point, carry: (point, carry),
+        ["a", "b"],
+        progress=lambda completed, total, point: seen.append((completed, total)),
+    )
+    assert seen == [(1, 2), (2, 2)]
+
+
+def test_sweep_spec_run_matches_sweep_map():
+    points = list(range(9))
+    spec = SweepSpec(fn=square, points=points, jobs=2)
+    assert spec.run() == sweep_map(square, points, jobs=2)

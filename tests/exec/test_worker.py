@@ -1,0 +1,33 @@
+"""Tests for the per-worker warm ``VectorizedSystem`` state."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.vectorized import VectorizedSystem
+from repro.exec import reset_worker_state, shared_system, worker_state
+
+
+def test_shared_system_rebinds_one_compiled_instance(small_model):
+    reset_worker_state()
+    first = shared_system(small_model)
+    assert isinstance(first, VectorizedSystem)
+    # Same structure -> the warm instance is rebound, not recompiled.
+    second = shared_system(small_model)
+    assert second is first
+
+
+def test_shared_system_matches_fresh_compile(small_model):
+    reset_worker_state()
+    shared_system(small_model)  # warm it once
+    warm = shared_system(small_model)
+    fresh = VectorizedSystem(small_model)
+    np.testing.assert_array_equal(warm.arrival_rates, fresh.arrival_rates)
+
+
+def test_reset_worker_state_drops_the_system(small_model):
+    reset_worker_state()
+    first = shared_system(small_model)
+    reset_worker_state()
+    assert worker_state() == {}
+    assert shared_system(small_model) is not first
